@@ -1,0 +1,37 @@
+"""E12 (ablation) — QSS vs fully dynamic scheduling.
+
+The paper's conclusions claim that quasi-static scheduling minimizes
+run-time overhead compared to dynamic scheduling because most decisions
+are made at compile time.  This ablation runs the ATM testbench on three
+implementations — QSS (2 tasks), functional partitioning (5 tasks) and a
+fully dynamic one (one micro-task per transition) — and checks the
+expected ordering of cycle counts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import functional_metrics, qss_metrics
+from repro.apps.atm import MODULE_PARTITION
+from repro.baselines import build_dynamic_implementation
+
+
+def test_dynamic_vs_qss(benchmark, atm_net, atm_testbench):
+    dynamic = build_dynamic_implementation(atm_net)
+
+    def run():
+        qss_row, _ = qss_metrics(atm_net, atm_testbench)
+        functional_row = functional_metrics(atm_net, MODULE_PARTITION, atm_testbench)
+        dynamic_stats = dynamic.run(atm_testbench)
+        return qss_row, functional_row, dynamic_stats
+
+    qss_row, functional_row, dynamic_stats = benchmark.pedantic(
+        run, iterations=1, rounds=2
+    )
+
+    assert qss_row.clock_cycles < functional_row.clock_cycles < dynamic_stats.total_cycles
+    benchmark.extra_info["qss_cycles"] = qss_row.clock_cycles
+    benchmark.extra_info["functional_cycles"] = functional_row.clock_cycles
+    benchmark.extra_info["dynamic_cycles"] = dynamic_stats.total_cycles
+    benchmark.extra_info["dynamic_over_qss"] = round(
+        dynamic_stats.total_cycles / qss_row.clock_cycles, 3
+    )

@@ -1,0 +1,46 @@
+"""E11 (ablation) — sensitivity of Table I to the task-activation overhead.
+
+The mechanism behind Table I is that every extra task activation and
+inter-task message costs cycles; this ablation sweeps the RTOS
+activation overhead and shows that the advantage of the 2-task QSS
+implementation over the 5-task functional partitioning grows with it
+(and essentially vanishes when activations are free).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import overhead_sensitivity
+from repro.apps.atm import MODULE_PARTITION
+from repro.baselines import build_functional_implementation
+from repro.qss import compute_valid_schedule
+
+OVERHEADS = [0, 90, 180, 360, 720]
+
+
+def test_overhead_sensitivity(benchmark, atm_net, atm_testbench):
+    functional = build_functional_implementation(atm_net, MODULE_PARTITION)
+    schedule = compute_valid_schedule(atm_net)
+
+    def run():
+        return overhead_sensitivity(
+            atm_net,
+            atm_testbench,
+            activation_cycles=OVERHEADS,
+            run_baseline=functional.run,
+            schedule=schedule,
+        )
+
+    records = benchmark.pedantic(run, iterations=1, rounds=2)
+
+    ratios = [record["ratio"] for record in records]
+    assert ratios == sorted(ratios), "the QSS advantage must grow with overhead"
+    assert ratios[-1] > ratios[0] * 1.05
+    benchmark.extra_info["sweep"] = [
+        {
+            "activation_cycles": record["activation_cycles"],
+            "qss_cycles": record["qss_cycles"],
+            "functional_cycles": record["baseline_cycles"],
+            "ratio": round(record["ratio"], 3),
+        }
+        for record in records
+    ]

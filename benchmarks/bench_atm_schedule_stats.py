@@ -1,0 +1,48 @@
+"""E9 — Section 5 text: the ATM server's valid schedule statistics.
+
+Regenerates the quantitative statements of Section 5: the FCPN has 49
+transitions, 41 places and 11 non-deterministic choices; the valid
+schedule contains 120 finite complete cycles (one per distinct
+T-reduction out of 2^11 T-allocations); the synthesized software has two
+tasks, one per independent-rate input, sharing the WFQ_SCHEDULING code.
+The timed quantity is the full schedulability analysis of the ATM net.
+"""
+
+from __future__ import annotations
+
+from repro.apps.atm import CELL_SOURCE, TICK_SOURCE
+from repro.qss import analyse, partition_tasks
+
+
+def test_atm_schedule_statistics(benchmark, atm_net):
+    report = benchmark.pedantic(analyse, args=(atm_net,), iterations=1, rounds=3)
+
+    assert len(atm_net.transition_names) == 49
+    assert len(atm_net.place_names) == 41
+    assert len(atm_net.choice_places()) == 11
+    assert report.schedulable
+    assert report.allocation_count == 2048
+    assert report.reduction_count == 120
+    assert report.schedule.cycle_count == 120
+
+    partition = partition_tasks(report.schedule)
+    assert partition.task_count == 2
+    cell_task = partition.task_for_source(CELL_SOURCE)
+    tick_task = partition.task_for_source(TICK_SOURCE)
+    shared = cell_task.shared_transitions & tick_task.shared_transitions
+    assert "t_wfq_start" in shared
+
+    benchmark.extra_info["transitions"] = len(atm_net.transition_names)
+    benchmark.extra_info["places"] = len(atm_net.place_names)
+    benchmark.extra_info["choices"] = len(atm_net.choice_places())
+    benchmark.extra_info["allocations"] = report.allocation_count
+    benchmark.extra_info["finite_complete_cycles"] = report.reduction_count
+    benchmark.extra_info["tasks"] = partition.task_count
+    benchmark.extra_info["shared_transitions"] = sorted(shared)
+    benchmark.extra_info["paper"] = {
+        "transitions": 49,
+        "places": 41,
+        "choices": 11,
+        "finite_complete_cycles": 120,
+        "tasks": 2,
+    }

@@ -1,0 +1,29 @@
+"""E1 — Figure 1: free-choice vs non-free-choice classification.
+
+Regenerates the structural facts of Figure 1: the net of Figure 1a is a
+Free-Choice net, the net of Figure 1b is not (a marking enables t3 but
+not t2), and times the classification machinery.
+"""
+
+from __future__ import annotations
+
+from repro.gallery import figure1a_free_choice, figure1b_not_free_choice
+from repro.petrinet import Marking, classify, is_free_choice
+
+
+def test_figure1_classification(benchmark):
+    net_a = figure1a_free_choice()
+    net_b = figure1b_not_free_choice()
+
+    def run():
+        return is_free_choice(net_a), is_free_choice(net_b), classify(net_b)
+
+    fc_a, fc_b, class_b = benchmark(run)
+    assert fc_a is True
+    assert fc_b is False
+    assert class_b == "general"
+    # the defining counterexample marking of Figure 1b
+    marking = Marking({"p1": 1})
+    assert net_b.is_enabled("t3", marking) and not net_b.is_enabled("t2", marking)
+    benchmark.extra_info["figure1a_free_choice"] = fc_a
+    benchmark.extra_info["figure1b_free_choice"] = fc_b

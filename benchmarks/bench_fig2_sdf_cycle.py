@@ -1,0 +1,27 @@
+"""E2 — Figure 2: static (SDF) cyclic schedule of the multirate chain.
+
+Regenerates the repetition vector f(sigma) = (4, 2, 1) and the finite
+complete cycle t1 t1 t1 t1 t2 t2 t3 of the Figure 2 chain, and times the
+static scheduling pipeline (balance equations + simulation).
+"""
+
+from __future__ import annotations
+
+from repro.gallery import figure2_sdf_chain
+from repro.petrinet import is_finite_complete_cycle, t_invariants
+from repro.sdf import petri_to_sdf, static_schedule
+
+
+def test_figure2_static_schedule(benchmark):
+    net = figure2_sdf_chain()
+
+    def run():
+        graph = petri_to_sdf(net)
+        return static_schedule(graph)
+
+    schedule = benchmark(run)
+    assert schedule.repetition == {"t1": 4, "t2": 2, "t3": 1}
+    assert is_finite_complete_cycle(net, schedule.sequence)
+    assert t_invariants(net) == [{"t1": 4, "t2": 2, "t3": 1}]
+    benchmark.extra_info["repetition_vector"] = schedule.repetition
+    benchmark.extra_info["cycle"] = " ".join(schedule.sequence)

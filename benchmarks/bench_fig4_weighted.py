@@ -1,0 +1,26 @@
+"""E4 — Figure 4: schedulable FCPN with weighted arcs.
+
+Regenerates the valid schedule {(t1 t2 t1 t2 t4), (t1 t3 t5 t5)} of the
+weighted-arc example and the buffer bounds it implies, timing the QSS
+analysis.
+"""
+
+from __future__ import annotations
+
+from repro.gallery import figure4_weighted
+from repro.qss import analyse
+
+
+def test_figure4_weighted_schedule(benchmark):
+    net = figure4_weighted()
+
+    report = benchmark(analyse, net)
+
+    assert report.schedulable
+    counts = [cycle.counts for cycle in report.schedule.cycles]
+    assert {"t1": 2, "t2": 2, "t4": 1} in counts
+    assert {"t1": 1, "t3": 1, "t5": 2} in counts
+    bounds = report.schedule.max_buffer_bounds()
+    assert bounds["p2"] == 2 and bounds["p3"] == 2
+    benchmark.extra_info["cycle_counts"] = counts
+    benchmark.extra_info["buffer_bounds"] = bounds

@@ -1,0 +1,45 @@
+"""E5 — Figures 5 and 6: T-allocations, T-reductions and their invariants.
+
+Regenerates: the two T-allocations of Figure 5 (A1 with t2, A2 with t3),
+the reduction R1 of Figure 6 (t3, p3, t5, p5, p6, t7 removed), the
+T-invariants of R1 quoted in the text — (1,1,0,2,0,4,0,0,0) and
+(0,0,0,0,0,1,0,1,1) — and the two-cycle valid schedule.  The timed
+quantity is allocation enumeration + reduction + static scheduling.
+"""
+
+from __future__ import annotations
+
+from repro.gallery import figure5_two_inputs
+from repro.petrinet import t_invariants
+from repro.qss import TAllocation, analyse, enumerate_allocations, reduce_net
+
+
+def test_figure5_reductions_and_invariants(benchmark):
+    net = figure5_two_inputs()
+
+    def run():
+        allocations = list(enumerate_allocations(net))
+        r1 = reduce_net(net, TAllocation.from_mapping({"p1": "t2"}))
+        return allocations, r1, analyse(net)
+
+    allocations, r1, report = benchmark(run)
+
+    assert len(allocations) == 2
+    everything = set(net.transition_names)
+    allocation_sets = {
+        frozenset(a.allocated_transitions(net)) for a in allocations
+    }
+    assert frozenset(everything - {"t3"}) in allocation_sets  # A1
+    assert frozenset(everything - {"t2"}) in allocation_sets  # A2
+
+    assert set(r1.net.transition_names) == {"t1", "t2", "t4", "t6", "t8", "t9"}
+    invariants = t_invariants(r1.net)
+    assert {"t1": 1, "t2": 1, "t4": 2, "t6": 4} in invariants
+    assert {"t6": 1, "t8": 1, "t9": 1} in invariants
+
+    assert report.schedulable and report.reduction_count == 2
+    counts = [cycle.counts for cycle in report.schedule.cycles]
+    assert {"t1": 1, "t2": 1, "t4": 2, "t6": 5, "t8": 1, "t9": 1} in counts
+
+    benchmark.extra_info["r1_invariants"] = invariants
+    benchmark.extra_info["valid_schedule_counts"] = counts

@@ -1,0 +1,29 @@
+"""E6 — Figure 7: a non-schedulable FCPN with inconsistent T-reductions.
+
+Regenerates the verdict of Figure 7: both T-reductions keep a source
+place with no producer and are inconsistent, so the net has no valid
+schedule; the diagnostics name the offending places (p5 for R1, p4 for
+R2).  The timed quantity is the full analysis with diagnostics.
+"""
+
+from __future__ import annotations
+
+from repro.gallery import figure7_unschedulable
+from repro.qss import analyse
+
+
+def test_figure7_unschedulable(benchmark):
+    net = figure7_unschedulable()
+
+    report = benchmark(analyse, net)
+
+    assert not report.schedulable
+    assert report.reduction_count == 2
+    source_places = set()
+    for verdict in report.verdicts:
+        assert not verdict.consistent
+        assert verdict.source_places
+        source_places.update(verdict.source_places)
+    assert source_places == {"p4", "p5"}
+    benchmark.extra_info["schedulable"] = report.schedulable
+    benchmark.extra_info["source_places"] = sorted(source_places)

@@ -1,0 +1,69 @@
+"""E10 — complexity remarks of Sections 3 and 4.
+
+The paper states that (1) the number of T-reductions is exponential in
+the number of conflicting transitions, (2) statically scheduling each
+T-reduction is polynomial, and (3) the generated code is linear in the
+size of the net.  These benches measure all three shapes on synthetic
+families:
+
+* ``independent_choices_net(k)`` — the number of distinct reductions is
+  exactly 2^k and the analysis time grows with it;
+* ``nested_choices_net(k)`` — the number of *distinct* reductions stays
+  linear (k+1) even though there are 2^k allocations, showing why the
+  deduplication matters;
+* code size versus pipeline length — generated lines grow linearly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import emit_c, synthesize
+from repro.petrinet.generators import (
+    independent_choices_net,
+    nested_choices_net,
+    pipeline_net,
+)
+from repro.qss import analyse, compute_valid_schedule, count_distinct_reductions
+
+
+@pytest.mark.parametrize("choices", [2, 4, 6, 8])
+def test_reductions_exponential_in_independent_choices(benchmark, choices):
+    net = independent_choices_net(choices)
+
+    report = benchmark(analyse, net)
+
+    assert report.reduction_count == 2**choices
+    assert report.schedulable
+    benchmark.extra_info["choices"] = choices
+    benchmark.extra_info["reductions"] = report.reduction_count
+
+
+@pytest.mark.parametrize("depth", [4, 8, 12])
+def test_nested_choices_stay_linear(benchmark, depth):
+    net = nested_choices_net(depth)
+
+    count = benchmark(count_distinct_reductions, net)
+
+    assert count == depth + 1
+    benchmark.extra_info["choice_places"] = depth
+    benchmark.extra_info["allocations"] = 2**depth
+    benchmark.extra_info["distinct_reductions"] = count
+
+
+@pytest.mark.parametrize("stages", [4, 8, 16, 32])
+def test_generated_code_linear_in_net_size(benchmark, stages):
+    net = pipeline_net(stages, rates=[1] * stages)
+
+    def run():
+        schedule = compute_valid_schedule(net)
+        return emit_c(synthesize(schedule))
+
+    emission = benchmark(run)
+
+    lines_per_stage = emission.lines_of_code / stages
+    # linear growth: the per-stage cost is bounded by a small constant
+    assert lines_per_stage < 12
+    benchmark.extra_info["stages"] = stages
+    benchmark.extra_info["lines_of_code"] = emission.lines_of_code
+    benchmark.extra_info["lines_per_stage"] = round(lines_per_stage, 2)

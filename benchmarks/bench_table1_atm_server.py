@@ -1,0 +1,64 @@
+"""E8 — Table I: QSS vs functional task partitioning on the ATM server.
+
+Regenerates the paper's headline experiment on the reconstructed ATM
+server and the 50-cell testbench:
+
+===================  =======  ==========================
+metric               QSS      functional partitioning
+===================  =======  ==========================
+number of tasks      2        5
+lines of C code      smaller  larger   (paper: 1664 / 2187)
+clock cycles         smaller  larger   (paper: 197526 / 249726)
+===================  =======  ==========================
+
+Absolute numbers differ from the paper (the target processor is replaced
+by the cycle cost model, and transition bodies are extern calls rather
+than real C), but the rows, the winner and the approximate improvement
+factors (~1.3x code, ~1.26x cycles) are reproduced; the exact measured
+values are attached to the benchmark's extra_info and recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import build_comparison
+from repro.apps.atm import MODULE_PARTITION
+
+
+def test_table1_atm_server(benchmark, atm_net, atm_testbench):
+    def run():
+        return build_comparison(atm_net, MODULE_PARTITION, atm_testbench)
+
+    table = benchmark.pedantic(run, iterations=1, rounds=3)
+
+    qss = table.row("QSS")
+    functional = table.row("Functional task partitioning")
+    assert qss.tasks == 2
+    assert functional.tasks == 5
+    assert qss.lines_of_code < functional.lines_of_code
+    assert qss.clock_cycles < functional.clock_cycles
+
+    cycles_ratio = table.ratio("clock_cycles", "QSS", "Functional task partitioning")
+    loc_ratio = table.ratio("lines_of_code", "QSS", "Functional task partitioning")
+    # the paper reports 1.26x cycles and 1.31x code; accept a generous band
+    assert 1.1 < cycles_ratio < 1.6
+    assert 1.1 < loc_ratio < 1.6
+
+    benchmark.extra_info["table"] = {
+        "tasks": {"qss": qss.tasks, "functional": functional.tasks},
+        "lines_of_code": {
+            "qss": qss.lines_of_code,
+            "functional": functional.lines_of_code,
+        },
+        "clock_cycles": {
+            "qss": qss.clock_cycles,
+            "functional": functional.clock_cycles,
+        },
+    }
+    benchmark.extra_info["cycles_ratio"] = round(cycles_ratio, 3)
+    benchmark.extra_info["loc_ratio"] = round(loc_ratio, 3)
+    benchmark.extra_info["paper"] = {
+        "tasks": {"qss": 2, "functional": 5},
+        "lines_of_code": {"qss": 1664, "functional": 2187},
+        "clock_cycles": {"qss": 197526, "functional": 249726},
+    }

@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md) and records the reproduced values in
+the benchmark's ``extra_info`` so they appear in the pytest-benchmark
+report next to the timing numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.atm import build_atm_server_net, make_testbench
+
+
+@pytest.fixture(scope="session")
+def atm_net():
+    return build_atm_server_net()
+
+
+@pytest.fixture(scope="session")
+def atm_testbench():
+    """The Table I testbench: 50 ATM cells plus concurrent ticks."""
+    return make_testbench(cells=50, seed=2026)

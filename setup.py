@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file
+exists so that editable installs work on environments whose setuptools
+predates PEP 660 support (legacy ``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Analysis helpers: Table-I style comparisons, buffer metrics, trade-offs."""
+
+from .metrics import (
+    ComparisonTable,
+    ImplementationMetrics,
+    build_comparison,
+    functional_metrics,
+    qss_metrics,
+    schedule_buffer_bounds,
+    total_buffer_tokens,
+)
+from .tradeoffs import TradeoffPoint, overhead_sensitivity, sharing_tradeoff
+
+__all__ = [
+    "ImplementationMetrics",
+    "ComparisonTable",
+    "qss_metrics",
+    "functional_metrics",
+    "build_comparison",
+    "schedule_buffer_bounds",
+    "total_buffer_tokens",
+    "TradeoffPoint",
+    "sharing_tradeoff",
+    "overhead_sensitivity",
+]

@@ -1,0 +1,112 @@
+"""Schedule/implementation trade-off exploration.
+
+The paper's conclusions point to future work: "explore different
+schedules, evaluating tradeoffs between code and buffer size".  This
+module provides that exploration on top of the reproduction:
+
+* code size with and without merge-fragment sharing (the structured
+  counterpart of the paper's goto sharing);
+* code size versus statically allocated buffer slots for each candidate
+  implementation;
+* sensitivity of the cycle count to the RTOS activation overhead, which
+  is the knob that determines how much a coarser task partition wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..codegen.emit_c import EmitOptions, emit_c
+from ..codegen.generator import CodegenOptions, synthesize
+from ..petrinet import PetriNet
+from ..qss.schedule import ValidSchedule
+from ..qss.scheduler import compute_valid_schedule
+from ..runtime.cost import CostModel
+from ..runtime.events import Event
+from ..runtime.rtos import RTOS
+from .metrics import schedule_buffer_bounds
+
+
+@dataclass
+class TradeoffPoint:
+    """One point in the code-size / buffer-size / cycles design space."""
+
+    label: str
+    lines_of_code: int
+    buffer_slots: int
+    clock_cycles: Optional[int] = None
+
+
+def sharing_tradeoff(
+    net: PetriNet,
+    schedule: Optional[ValidSchedule] = None,
+    events: Optional[Sequence[Event]] = None,
+    cost_model: Optional[CostModel] = None,
+) -> List[TradeoffPoint]:
+    """Compare implementations with and without shared merge fragments.
+
+    Sharing reduces code size (common suffixes are emitted once) at the
+    cost of an extra call per activation; duplication does the opposite —
+    the trade-off the paper's ``goto`` sharing addresses.
+    """
+    if schedule is None:
+        schedule = compute_valid_schedule(net)
+    buffers = sum(schedule_buffer_bounds(schedule).values())
+    points: List[TradeoffPoint] = []
+    for label, share in (("shared merges", True), ("duplicated merges", False)):
+        program = synthesize(schedule, options=CodegenOptions(share_merges=share))
+        emission = emit_c(program, EmitOptions(inline_all=not share))
+        cycles = None
+        if events is not None:
+            cycles = RTOS(program, cost_model).run(events).total_cycles
+        points.append(
+            TradeoffPoint(
+                label=label,
+                lines_of_code=emission.lines_of_code,
+                buffer_slots=buffers,
+                clock_cycles=cycles,
+            )
+        )
+    return points
+
+
+def overhead_sensitivity(
+    net: PetriNet,
+    events: Sequence[Event],
+    activation_cycles: Sequence[int],
+    run_baseline,
+    cost_model: Optional[CostModel] = None,
+    schedule: Optional[ValidSchedule] = None,
+) -> List[Dict[str, float]]:
+    """Sweep the RTOS activation overhead and report QSS vs baseline cycles.
+
+    Parameters
+    ----------
+    run_baseline:
+        Callable ``(events, cost_model) -> ExecutionStats`` executing the
+        baseline implementation (e.g.
+        ``FunctionalImplementation(...).run``).
+
+    Returns one record per overhead value with the absolute cycle counts
+    and the baseline/QSS ratio; the ratio grows with the overhead, which
+    is the mechanism behind Table I.
+    """
+    if schedule is None:
+        schedule = compute_valid_schedule(net)
+    program = synthesize(schedule)
+    base_model = cost_model or CostModel()
+    records: List[Dict[str, float]] = []
+    for overhead in activation_cycles:
+        model = base_model.with_activation(overhead)
+        qss_cycles = RTOS(program, model).run(events).total_cycles
+        baseline_cycles = run_baseline(events, model).total_cycles
+        records.append(
+            {
+                "activation_cycles": float(overhead),
+                "qss_cycles": float(qss_cycles),
+                "baseline_cycles": float(baseline_cycles),
+                "ratio": baseline_cycles / qss_cycles if qss_cycles else float("inf"),
+            }
+        )
+    return records

@@ -1,0 +1,1 @@
+"""Application case studies built on the public API (currently the ATM server)."""

@@ -1,0 +1,348 @@
+"""FCPN model of the ATM server for Virtual Private Networks (Section 5).
+
+The paper evaluates quasi-static scheduling on an industrial ATM server
+[Filippi et al. 1998] whose specification is proprietary; this module is
+a reconstruction that preserves every property the experiment depends
+on (see the substitution note in DESIGN.md):
+
+* the functional structure of Figure 8 — five modules: message
+  discarding (MSD), BUFFER, CELL_EXTRACT, WFQ_SCHEDULING and the
+  ARBITER/COUNTER around the output port;
+* the two environment inputs with independent firing rates: *Cell*, an
+  interrupt occurring at irregular times when a non-empty cell enters
+  the server, and *Tick*, the periodic cell-slot event that triggers
+  forwarding of the next outgoing cell;
+* the model size reported in the paper: **49 transitions, 41 places, 11
+  free (non-deterministic) choices**;
+* the consequences the paper reports: the net is quasi-statically
+  schedulable, its valid schedule contains **120 finite complete
+  cycles** (one per distinct T-reduction), and the synthesized software
+  consists of **two tasks**, one per independent input.
+
+The model keeps WFQ_SCHEDULING as code shared between the two tasks: it
+is reachable both from the cell-admission path (first cell enqueued into
+an empty buffer) and from the emission path after every transmitted cell
+— the "activated either by MSD or by CELL_EXTRACT" behaviour described
+in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from ...petrinet import NetBuilder, PetriNet
+
+#: The two independent-rate environment inputs.
+CELL_SOURCE = "t_cell"
+TICK_SOURCE = "t_tick"
+
+#: Choice places resolved while processing a Cell event, in pipeline order.
+CELL_CHOICES = (
+    "p_priority_check",   # C1: high- or low-priority virtual circuit
+    "p_msd_state",        # C2: message discarding active for this message?
+    "p_buffer_state",     # C3: shared buffer full?
+    "p_enqueued",         # C4: was the queue empty before this cell?
+    "p_wfq_mode",         # C5: new flow or existing flow for WFQ state
+)
+
+#: Choice places resolved while processing a Tick event, in pipeline order.
+TICK_CHOICES = (
+    "p_timer_state",      # T1: even or odd cell slot (housekeeping phase)
+    "p_queue_status",     # T2: all per-VC queues empty?
+    "p_class_decision",   # T3: single backlogged class or several?
+    "p_weight_state",     # T4: cached WFQ weights still valid?
+    "p_recompute_state",  # T5: few or many flows to rescan
+    "p_backlog_state",    # T6: light or heavy backlog update
+)
+
+#: All 11 non-deterministic choices of the model.
+ATM_CHOICE_PLACES = CELL_CHOICES + TICK_CHOICES
+
+#: Functional module of every transition — the five blocks of Figure 8.
+#: This partition is what the "functional task partitioning" baseline of
+#: Table I synthesizes one task per module from.
+MODULE_PARTITION: Dict[str, List[str]] = {
+    "msd": [
+        "t_cell",
+        "t_parse_header",
+        "t_classify_vc",
+        "t_prio_high",
+        "t_prio_low",
+        "t_msd_check",
+        "t_msd_discard",
+        "t_count_discard",
+        "t_drop_cell",
+        "t_msd_accept",
+        "t_buffer_full",
+        "t_activate_msd",
+        "t_reject_cell",
+        "t_buffer_space",
+    ],
+    "buffer": [
+        "t_enqueue_cell",
+        "t_queue_nonempty",
+        "t_ack_enqueue",
+        "t_queue_empty",
+        "t_wfq_new_flow",
+        "t_wfq_existing_flow",
+    ],
+    "cell_extract": [
+        "t_tick",
+        "t_advance_clock",
+        "t_slot_even",
+        "t_slot_odd",
+        "t_scan_queues",
+        "t_all_empty",
+        "t_emit_idle",
+        "t_have_cells",
+        "t_single_class",
+        "t_extract_head",
+        "t_multi_class",
+        "t_weights_cached",
+        "t_use_cached",
+        "t_weights_stale",
+        "t_few_flows",
+        "t_linear_scan",
+        "t_many_flows",
+        "t_backlog_light",
+        "t_update_light",
+        "t_backlog_heavy",
+        "t_update_heavy",
+    ],
+    "wfq_scheduling": [
+        "t_wfq_start",
+        "t_compute_finish",
+        "t_update_schedule",
+        "t_commit_schedule",
+    ],
+    "arbiter": [
+        "t_arbiter_grant",
+        "t_emit_cell",
+        "t_update_counter",
+        "t_output_done",
+    ],
+}
+
+#: Abstract execution cost of each transition (in units of the cost
+#: model's ``transition_cycles``).  Heavier values mark the data-path
+#: computations (header parsing, WFQ finish-time computation), lighter
+#: values the bookkeeping steps.
+_TRANSITION_COSTS: Dict[str, int] = {
+    "t_cell": 1,
+    "t_parse_header": 4,
+    "t_classify_vc": 3,
+    "t_prio_high": 2,
+    "t_prio_low": 2,
+    "t_msd_check": 3,
+    "t_msd_discard": 2,
+    "t_count_discard": 1,
+    "t_drop_cell": 1,
+    "t_msd_accept": 2,
+    "t_buffer_full": 2,
+    "t_activate_msd": 2,
+    "t_reject_cell": 1,
+    "t_buffer_space": 2,
+    "t_enqueue_cell": 4,
+    "t_queue_nonempty": 1,
+    "t_ack_enqueue": 1,
+    "t_queue_empty": 1,
+    "t_wfq_new_flow": 3,
+    "t_wfq_existing_flow": 2,
+    "t_tick": 1,
+    "t_advance_clock": 2,
+    "t_slot_even": 1,
+    "t_slot_odd": 1,
+    "t_scan_queues": 4,
+    "t_all_empty": 1,
+    "t_emit_idle": 2,
+    "t_have_cells": 1,
+    "t_single_class": 1,
+    "t_extract_head": 3,
+    "t_multi_class": 2,
+    "t_weights_cached": 1,
+    "t_use_cached": 2,
+    "t_weights_stale": 1,
+    "t_few_flows": 1,
+    "t_linear_scan": 4,
+    "t_many_flows": 1,
+    "t_heap_update": 5,
+    "t_backlog_light": 2,
+    "t_update_light": 2,
+    "t_backlog_heavy": 2,
+    "t_update_heavy": 4,
+    "t_wfq_start": 2,
+    "t_compute_finish": 6,
+    "t_update_schedule": 3,
+    "t_commit_schedule": 1,
+    "t_arbiter_grant": 2,
+    "t_emit_cell": 4,
+    "t_update_counter": 2,
+    "t_output_done": 1,
+}
+
+
+def build_atm_server_net() -> PetriNet:
+    """Build the ATM server FCPN (49 transitions, 41 places, 11 choices)."""
+    b = NetBuilder("atm_server")
+
+    def t(name: str) -> str:
+        b.transition(name, cost=_TRANSITION_COSTS.get(name, 1))
+        return name
+
+    # ------------------------------------------------------------------
+    # Cell path: MSD admission + BUFFER enqueue (triggered by t_cell)
+    # ------------------------------------------------------------------
+    b.source(CELL_SOURCE, label="Cell interrupt", cost=_TRANSITION_COSTS["t_cell"])
+    b.arc(CELL_SOURCE, "p_cell_raw")
+    b.arc("p_cell_raw", t("t_parse_header"))
+    b.arc("t_parse_header", "p_cell_parsed")
+    b.arc("p_cell_parsed", t("t_classify_vc"))
+    b.arc("t_classify_vc", "p_priority_check")
+    # C1: priority classification (both branches converge on the MSD check)
+    b.arc("p_priority_check", t("t_prio_high"))
+    b.arc("p_priority_check", t("t_prio_low"))
+    b.arc("t_prio_high", "p_msd_entry")
+    b.arc("t_prio_low", "p_msd_entry")
+    # header information travels in parallel with the priority diamond
+    b.arc("t_parse_header", "p_header_info")
+    b.arc("p_msd_entry", t("t_msd_check"))
+    b.arc("p_header_info", "t_msd_check")
+    b.arc("t_msd_check", "p_msd_state")
+    # C2: message discarding state
+    b.arc("p_msd_state", t("t_msd_discard"))
+    b.arc("p_msd_state", t("t_msd_accept"))
+    b.arc("t_msd_discard", "p_discarded")
+    b.arc("p_discarded", t("t_count_discard"))
+    b.arc("t_count_discard", "p_discard_done")
+    b.arc("p_discard_done", t("t_drop_cell"))
+    b.arc("t_msd_accept", "p_buffer_state")
+    # C3: shared buffer occupancy
+    b.arc("p_buffer_state", t("t_buffer_full"))
+    b.arc("p_buffer_state", t("t_buffer_space"))
+    b.arc("t_buffer_full", "p_congestion")
+    b.arc("p_congestion", t("t_activate_msd"))
+    b.arc("t_activate_msd", "p_msd_updated")
+    b.arc("p_msd_updated", t("t_reject_cell"))
+    b.arc("t_buffer_space", "p_space_ok")
+    b.arc("p_space_ok", t("t_enqueue_cell"))
+    b.arc("t_enqueue_cell", "p_enqueued")
+    # C4: was the per-VC queue empty before this cell?
+    b.arc("p_enqueued", t("t_queue_nonempty"))
+    b.arc("p_enqueued", t("t_queue_empty"))
+    b.arc("t_queue_nonempty", "p_enq_done")
+    b.arc("p_enq_done", t("t_ack_enqueue"))
+    b.arc("t_queue_empty", "p_wfq_mode")
+    # C5: new flow vs. existing flow (both request a WFQ update)
+    b.arc("p_wfq_mode", t("t_wfq_new_flow"))
+    b.arc("p_wfq_mode", t("t_wfq_existing_flow"))
+    b.arc("t_wfq_new_flow", "p_wfq_req")
+    b.arc("t_wfq_existing_flow", "p_wfq_req")
+
+    # ------------------------------------------------------------------
+    # Tick path: CELL_EXTRACT selection (triggered by t_tick)
+    # ------------------------------------------------------------------
+    b.source(TICK_SOURCE, label="Tick (cell slot)", cost=_TRANSITION_COSTS["t_tick"])
+    b.arc(TICK_SOURCE, "p_tick_raw")
+    b.arc("p_tick_raw", t("t_advance_clock"))
+    b.arc("t_advance_clock", "p_timer_state")
+    # T1: even/odd slot housekeeping (both converge on the queue scan)
+    b.arc("p_timer_state", t("t_slot_even"))
+    b.arc("p_timer_state", t("t_slot_odd"))
+    b.arc("t_slot_even", "p_extract_entry")
+    b.arc("t_slot_odd", "p_extract_entry")
+    # slot bookkeeping travels in parallel with the even/odd diamond
+    b.arc("t_advance_clock", "p_slot_info")
+    b.arc("p_extract_entry", t("t_scan_queues"))
+    b.arc("p_slot_info", "t_scan_queues")
+    b.arc("t_scan_queues", "p_queue_status")
+    # T2: any backlogged cells at all?
+    b.arc("p_queue_status", t("t_all_empty"))
+    b.arc("p_queue_status", t("t_have_cells"))
+    b.arc("t_all_empty", "p_idle_slot")
+    b.arc("p_idle_slot", t("t_emit_idle"))
+    b.arc("t_have_cells", "p_class_decision")
+    # T3: one backlogged class or several?
+    b.arc("p_class_decision", t("t_single_class"))
+    b.arc("p_class_decision", t("t_multi_class"))
+    b.arc("t_single_class", "p_single_head")
+    b.arc("p_single_head", t("t_extract_head"))
+    b.arc("t_extract_head", "p_emit_req")
+    b.arc("t_multi_class", "p_weight_state")
+    # T4: cached WFQ weights usable?
+    b.arc("p_weight_state", t("t_weights_cached"))
+    b.arc("p_weight_state", t("t_weights_stale"))
+    b.arc("t_weights_cached", "p_cached")
+    b.arc("p_cached", t("t_use_cached"))
+    b.arc("t_use_cached", "p_emit_req")
+    b.arc("t_weights_stale", "p_recompute_state")
+    # T5: few or many flows to rescan
+    b.arc("p_recompute_state", t("t_few_flows"))
+    b.arc("p_recompute_state", t("t_many_flows"))
+    b.arc("t_few_flows", "p_few")
+    b.arc("p_few", t("t_linear_scan"))
+    b.arc("t_linear_scan", "p_emit_req")
+    b.arc("t_many_flows", "p_backlog_state")
+    # T6: light or heavy backlog update (both converge on the emission)
+    b.arc("p_backlog_state", t("t_backlog_light"))
+    b.arc("p_backlog_state", t("t_backlog_heavy"))
+    b.arc("t_backlog_light", "p_light")
+    b.arc("p_light", t("t_update_light"))
+    b.arc("t_update_light", "p_emit_req")
+    b.arc("t_backlog_heavy", "p_heavy")
+    b.arc("p_heavy", t("t_update_heavy"))
+    b.arc("t_update_heavy", "p_emit_req")
+
+    # ------------------------------------------------------------------
+    # ARBITER / COUNTER around the output port
+    # ------------------------------------------------------------------
+    b.arc("p_emit_req", t("t_arbiter_grant"))
+    b.arc("t_arbiter_grant", "p_granted")
+    b.arc("t_arbiter_grant", "p_grant_info")
+    b.arc("p_granted", t("t_emit_cell"))
+    b.arc("t_emit_cell", "p_emitted")
+    b.arc("t_emit_cell", "p_emit_log")
+    b.arc("p_emitted", t("t_update_counter"))
+    b.arc("p_grant_info", "t_update_counter")
+    b.arc("t_update_counter", "p_count_done")
+    b.arc("t_update_counter", "p_wfq_req")
+    b.arc("p_count_done", t("t_output_done"))
+    b.arc("p_emit_log", "t_output_done")
+
+    # ------------------------------------------------------------------
+    # WFQ_SCHEDULING (shared by the Cell and Tick paths)
+    # ------------------------------------------------------------------
+    b.arc("p_wfq_req", t("t_wfq_start"))
+    b.arc("t_wfq_start", "p_wfq_calc")
+    b.arc("t_wfq_start", "p_wfq_ctx")
+    b.arc("p_wfq_calc", t("t_compute_finish"))
+    b.arc("t_compute_finish", "p_wfq_time")
+    b.arc("p_wfq_time", t("t_update_schedule"))
+    b.arc("p_wfq_ctx", "t_update_schedule")
+    b.arc("t_update_schedule", "p_wfq_done")
+    b.arc("p_wfq_done", t("t_commit_schedule"))
+
+    return b.build()
+
+
+def default_choice_probabilities() -> Dict[str, Dict[str, float]]:
+    """Branch probabilities used by the testbench workload.
+
+    The probabilities describe a moderately loaded server: most cells are
+    accepted and enqueued into a non-empty queue, the buffer rarely
+    overflows, and most cell slots find backlogged traffic.
+    """
+    return {
+        # Cell path
+        "p_priority_check": {"t_prio_high": 0.3, "t_prio_low": 0.7},
+        "p_msd_state": {"t_msd_discard": 0.1, "t_msd_accept": 0.9},
+        "p_buffer_state": {"t_buffer_full": 0.05, "t_buffer_space": 0.95},
+        "p_enqueued": {"t_queue_nonempty": 0.7, "t_queue_empty": 0.3},
+        "p_wfq_mode": {"t_wfq_new_flow": 0.4, "t_wfq_existing_flow": 0.6},
+        # Tick path
+        "p_timer_state": {"t_slot_even": 0.5, "t_slot_odd": 0.5},
+        "p_queue_status": {"t_all_empty": 0.2, "t_have_cells": 0.8},
+        "p_class_decision": {"t_single_class": 0.4, "t_multi_class": 0.6},
+        "p_weight_state": {"t_weights_cached": 0.5, "t_weights_stale": 0.5},
+        "p_recompute_state": {"t_few_flows": 0.6, "t_many_flows": 0.4},
+        "p_backlog_state": {"t_backlog_light": 0.7, "t_backlog_heavy": 0.3},
+    }

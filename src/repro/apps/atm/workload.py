@@ -1,0 +1,96 @@
+"""Testbench workload for the ATM server experiments.
+
+The paper's Table I uses "a testbench of 50 ATM cells".  The workload
+here reproduces that setup: a configurable number of *Cell* events with
+irregular (exponential) inter-arrival times, interleaved with the
+periodic *Tick* events that occur while the cells are being served, each
+event carrying the data-dependent choice resolutions drawn from the
+probabilities in :func:`repro.apps.atm.model.default_choice_probabilities`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ...runtime.events import (
+    ChoiceSampler,
+    Event,
+    irregular_events,
+    merge_streams,
+    periodic_events,
+    with_choices,
+)
+from .model import (
+    CELL_CHOICES,
+    CELL_SOURCE,
+    TICK_CHOICES,
+    TICK_SOURCE,
+    default_choice_probabilities,
+)
+
+
+@dataclass
+class AtmWorkload:
+    """A reproducible ATM testbench.
+
+    Attributes
+    ----------
+    cells:
+        Number of ATM cell arrivals (the paper uses 50).
+    cell_mean_interval:
+        Mean inter-arrival time of cells, in abstract time units.
+    tick_period:
+        Period of the cell-slot Tick.
+    seed:
+        Seed for both the arrival process and the choice resolutions.
+    probabilities:
+        Branch probabilities per choice place; defaults to
+        :func:`default_choice_probabilities`.
+    """
+
+    cells: int = 50
+    cell_mean_interval: float = 2.5
+    tick_period: float = 2.0
+    seed: int = 2026
+    probabilities: Optional[Mapping[str, Mapping[str, float]]] = None
+
+    def events(self) -> List[Event]:
+        """Generate the merged, time-ordered event stream."""
+        probabilities = self.probabilities or default_choice_probabilities()
+        sampler = ChoiceSampler(
+            probabilities,
+            seed=self.seed,
+            per_source={
+                CELL_SOURCE: list(CELL_CHOICES),
+                TICK_SOURCE: list(TICK_CHOICES),
+            },
+        )
+        cell_stream = irregular_events(
+            CELL_SOURCE,
+            mean_interval=self.cell_mean_interval,
+            count=self.cells,
+            seed=self.seed,
+        )
+        # Ticks run for as long as cells keep arriving (plus one trailing
+        # slot to drain), which is how a cell-slot clock behaves.
+        horizon = cell_stream[-1].time if cell_stream else 0.0
+        tick_count = int(horizon / self.tick_period) + 2
+        tick_stream = periodic_events(
+            TICK_SOURCE, period=self.tick_period, count=tick_count
+        )
+        merged = merge_streams(cell_stream, tick_stream)
+        return with_choices(merged, sampler)
+
+    def summary(self) -> Dict[str, int]:
+        events = self.events()
+        return {
+            "events": len(events),
+            "cells": sum(1 for e in events if e.source == CELL_SOURCE),
+            "ticks": sum(1 for e in events if e.source == TICK_SOURCE),
+        }
+
+
+def make_testbench(cells: int = 50, seed: int = 2026) -> List[Event]:
+    """The Table I testbench: ``cells`` ATM cells plus the concurrent Ticks."""
+    return AtmWorkload(cells=cells, seed=seed).events()

@@ -1,0 +1,29 @@
+"""Baseline implementations the paper compares against (or dismisses)."""
+
+from .dynamic import (
+    MICROTASK_BOILERPLATE_LINES,
+    DynamicImplementation,
+    build_dynamic_implementation,
+)
+from .functional_partitioning import (
+    QUEUE_BOILERPLATE_LINES,
+    TASK_BOILERPLATE_LINES,
+    FunctionalImplementation,
+    build_functional_implementation,
+    inter_module_queues,
+)
+from .lin_safe import SafeSynthesisResult, is_applicable, synthesize_single_task
+
+__all__ = [
+    "FunctionalImplementation",
+    "build_functional_implementation",
+    "inter_module_queues",
+    "TASK_BOILERPLATE_LINES",
+    "QUEUE_BOILERPLATE_LINES",
+    "DynamicImplementation",
+    "build_dynamic_implementation",
+    "MICROTASK_BOILERPLATE_LINES",
+    "SafeSynthesisResult",
+    "is_applicable",
+    "synthesize_single_task",
+]

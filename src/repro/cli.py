@@ -1,0 +1,178 @@
+"""Command-line interface to the synthesis flow.
+
+The CLI exposes the complete paper flow on nets stored in the JSON format
+of :mod:`repro.petrinet.serialization`, so the tool can be used without
+writing Python:
+
+.. code-block:: console
+
+    $ repro-qss info model.json            # structural summary and class
+    $ repro-qss analyse model.json         # schedulability + valid schedule
+    $ repro-qss synthesize model.json -o model.c   # generate the C code
+    $ repro-qss dot model.json -o model.dot        # Graphviz export
+    $ repro-qss gallery figure4 -o fig4.json       # dump a paper figure net
+    $ repro-qss atm-table1 --cells 50      # reproduce Table I
+
+Every subcommand returns a process exit code of 0 on success, 1 when the
+analysis reports a negative result (e.g. the net is not schedulable) and
+2 on usage errors, so the tool composes with shell scripts and CI jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis import build_comparison
+from .apps.atm import MODULE_PARTITION, build_atm_server_net, make_testbench
+from .codegen import EmitOptions, emit_c, synthesize
+from .gallery import paper_figures
+from .petrinet import classify, is_free_choice, load_net, net_to_dot, save_net
+from .petrinet.exceptions import PetriNetError
+from .qss import analyse, partition_tasks
+
+
+def _load(path: str):
+    try:
+        return load_net(path)
+    except (OSError, PetriNetError) as error:
+        raise SystemExit(f"error: cannot load net from {path}: {error}")
+
+
+def _write_or_print(text: str, output: Optional[str]) -> None:
+    if output:
+        Path(output).write_text(text, encoding="utf-8")
+    else:
+        print(text)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    net = _load(args.net)
+    print(net.summary())
+    print(f"class           : {classify(net)}")
+    print(f"free choice     : {is_free_choice(net)}")
+    print(f"source inputs   : {net.source_transitions()}")
+    print(f"choice places   : {net.choice_places()}")
+    return 0
+
+
+def cmd_analyse(args: argparse.Namespace) -> int:
+    net = _load(args.net)
+    report = analyse(net)
+    print(report.explain())
+    if report.schedulable and report.schedule is not None:
+        if args.show_schedule:
+            print(report.schedule.describe())
+        partition = partition_tasks(report.schedule)
+        print(partition.describe())
+    return 0 if report.schedulable else 1
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    net = _load(args.net)
+    report = analyse(net)
+    if not report.schedulable or report.schedule is None:
+        print(report.explain(), file=sys.stderr)
+        return 1
+    program = synthesize(report.schedule)
+    emission = emit_c(
+        program, EmitOptions(standalone_loop=args.standalone_loop)
+    )
+    _write_or_print(emission.source, args.output)
+    print(
+        f"synthesized {program.task_count} task(s), "
+        f"{emission.lines_of_code} lines of C",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    net = _load(args.net)
+    _write_or_print(net_to_dot(net, title=args.title or net.name), args.output)
+    return 0
+
+
+def cmd_gallery(args: argparse.Namespace) -> int:
+    figures = paper_figures()
+    if args.figure == "list" or args.figure not in figures:
+        print("available figures:", ", ".join(sorted(figures)))
+        return 0 if args.figure == "list" else 2
+    net = figures[args.figure]()
+    if args.output:
+        save_net(net, args.output)
+        print(f"wrote {args.figure} to {args.output}")
+    else:
+        from .petrinet import net_to_json
+
+        print(net_to_json(net))
+    return 0
+
+
+def cmd_atm_table1(args: argparse.Namespace) -> int:
+    net = build_atm_server_net()
+    events = make_testbench(cells=args.cells, seed=args.seed)
+    table = build_comparison(net, MODULE_PARTITION, events, title="Table I (reproduced)")
+    print(table.render())
+    ratio = table.ratio("clock_cycles", "QSS", "Functional task partitioning")
+    print(f"functional / QSS clock-cycle ratio: {ratio:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-qss",
+        description="Quasi-static scheduling and software synthesis from FCPNs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="structural summary of a net")
+    p_info.add_argument("net", help="net description (JSON)")
+    p_info.set_defaults(func=cmd_info)
+
+    p_analyse = sub.add_parser("analyse", help="check quasi-static schedulability")
+    p_analyse.add_argument("net")
+    p_analyse.add_argument(
+        "--show-schedule", action="store_true", help="print every finite complete cycle"
+    )
+    p_analyse.set_defaults(func=cmd_analyse)
+
+    p_synth = sub.add_parser("synthesize", help="generate the C implementation")
+    p_synth.add_argument("net")
+    p_synth.add_argument("-o", "--output", help="write the C source to this file")
+    p_synth.add_argument(
+        "--standalone-loop",
+        action="store_true",
+        help="wrap each task in while(1) (the paper's listing style)",
+    )
+    p_synth.set_defaults(func=cmd_synthesize)
+
+    p_dot = sub.add_parser("dot", help="export the net as Graphviz DOT")
+    p_dot.add_argument("net")
+    p_dot.add_argument("-o", "--output")
+    p_dot.add_argument("--title")
+    p_dot.set_defaults(func=cmd_dot)
+
+    p_gallery = sub.add_parser("gallery", help="dump one of the paper's figure nets")
+    p_gallery.add_argument("figure", help="figure id (or 'list')")
+    p_gallery.add_argument("-o", "--output", help="write JSON to this file")
+    p_gallery.set_defaults(func=cmd_gallery)
+
+    p_table1 = sub.add_parser("atm-table1", help="reproduce Table I on the ATM server")
+    p_table1.add_argument("--cells", type=int, default=50)
+    p_table1.add_argument("--seed", type=int, default=2026)
+    p_table1.set_defaults(func=cmd_atm_table1)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Software synthesis backend: IR, code generation, C emission, execution."""
+
+from .emit_c import CEmission, EmitOptions, emit_c, lines_of_code
+from .generator import (
+    CodegenError,
+    CodegenOptions,
+    generate_program,
+    generate_task_program,
+    synthesize,
+)
+from .interpreter import (
+    ActivationResult,
+    ChoiceResolver,
+    ExecutionError,
+    ProgramExecutor,
+    TaskExecutor,
+    make_resolver,
+)
+from .ir import (
+    Block,
+    CallFragment,
+    ChoiceIf,
+    Comment,
+    DecCount,
+    FireTransition,
+    Fragment,
+    Guarded,
+    IncCount,
+    Program,
+    TaskProgram,
+)
+
+__all__ = [
+    # IR
+    "Program",
+    "TaskProgram",
+    "Fragment",
+    "Block",
+    "FireTransition",
+    "IncCount",
+    "DecCount",
+    "CallFragment",
+    "Guarded",
+    "ChoiceIf",
+    "Comment",
+    # generation
+    "CodegenOptions",
+    "CodegenError",
+    "generate_task_program",
+    "generate_program",
+    "synthesize",
+    # C emission
+    "EmitOptions",
+    "CEmission",
+    "emit_c",
+    "lines_of_code",
+    # execution
+    "TaskExecutor",
+    "ProgramExecutor",
+    "ActivationResult",
+    "ChoiceResolver",
+    "ExecutionError",
+    "make_resolver",
+]

@@ -1,0 +1,227 @@
+"""Execution of synthesized task code on a simulated target.
+
+The paper reports "clock cycles" measured by compiling the generated C
+for an embedded target and running a testbench.  We do not have that
+target, so the same IR that the C emitter prints is executed directly by
+this interpreter against a configurable cycle cost model
+(:class:`~repro.runtime.cost.CostModel`); see DESIGN.md for the
+substitution rationale.  Because both the QSS implementation and the
+baselines are executed by the same interpreter with the same cost model,
+the *relative* comparison of Table I is preserved.
+
+An activation of a task executes its entry fragments once; counting
+variables persist across activations (they are the statically allocated
+buffers of the implementation).  Data-dependent choices are resolved by
+a caller-provided resolver (the workload generator supplies one per
+event).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..runtime.cost import CostModel
+from .ir import (
+    Block,
+    CallFragment,
+    ChoiceIf,
+    Comment,
+    DecCount,
+    FireTransition,
+    Guarded,
+    IncCount,
+    Program,
+    TaskProgram,
+)
+
+#: A choice resolver maps a choice place to the transition selected by the
+#: run-time data.  It is invoked once per evaluation of the choice.
+ChoiceResolver = Callable[[str], str]
+
+
+class ExecutionError(Exception):
+    """Raised when generated code misbehaves (e.g. a counter going negative),
+    which would indicate a code generation bug."""
+
+
+@dataclass
+class ActivationResult:
+    """Outcome of one task activation."""
+
+    task: str
+    cycles: int
+    fired: List[str] = field(default_factory=list)
+    choices_taken: Dict[str, str] = field(default_factory=dict)
+
+
+class TaskExecutor:
+    """Executes activations of a single task, keeping its counter state."""
+
+    def __init__(self, task: TaskProgram, cost_model: Optional[CostModel] = None) -> None:
+        self.task = task
+        self.cost = cost_model or CostModel()
+        self.counters: Dict[str, int] = dict(task.counters)
+        #: guards against runaway recursion caused by malformed fragments
+        self._max_depth = 10_000
+
+    def reset(self) -> None:
+        """Reset counters to the initial marking."""
+        self.counters = dict(self.task.counters)
+
+    def activate(self, resolve_choice: ChoiceResolver) -> ActivationResult:
+        """Run one activation of the task (one input event)."""
+        result = ActivationResult(task=self.task.name, cycles=0)
+        for entry in self.task.entry_fragments:
+            self._run_fragment(entry, resolve_choice, result, depth=0)
+        return result
+
+    # -- execution ---------------------------------------------------------
+    def _run_fragment(
+        self,
+        name: str,
+        resolve_choice: ChoiceResolver,
+        result: ActivationResult,
+        depth: int,
+    ) -> None:
+        if depth > self._max_depth:
+            raise ExecutionError(
+                f"fragment recursion exceeded {self._max_depth} levels in "
+                f"task {self.task.name!r}"
+            )
+        fragment = self.task.fragments[name]
+        result.cycles += self.cost.call_cycles
+        self._run_block(fragment.body, resolve_choice, result, depth)
+
+    def _run_block(
+        self,
+        block: Block,
+        resolve_choice: ChoiceResolver,
+        result: ActivationResult,
+        depth: int,
+    ) -> None:
+        for statement in block:
+            if isinstance(statement, Comment):
+                continue
+            if isinstance(statement, FireTransition):
+                result.fired.append(statement.transition)
+                result.cycles += statement.cost * self.cost.transition_cycles
+            elif isinstance(statement, IncCount):
+                self.counters[statement.place] = (
+                    self.counters.get(statement.place, 0) + statement.amount
+                )
+                result.cycles += self.cost.counter_cycles
+            elif isinstance(statement, DecCount):
+                updated = self.counters.get(statement.place, 0) - statement.amount
+                if updated < 0:
+                    raise ExecutionError(
+                        f"counter for place {statement.place!r} went negative "
+                        f"in task {self.task.name!r}"
+                    )
+                self.counters[statement.place] = updated
+                result.cycles += self.cost.counter_cycles
+            elif isinstance(statement, Guarded):
+                self._run_guarded(statement, resolve_choice, result, depth)
+            elif isinstance(statement, ChoiceIf):
+                self._run_choice(statement, resolve_choice, result, depth)
+            elif isinstance(statement, CallFragment):
+                self._run_fragment(
+                    statement.fragment, resolve_choice, result, depth + 1
+                )
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown IR statement {statement!r}")
+
+    def _guard_holds(self, conditions: Tuple[Tuple[str, int], ...]) -> bool:
+        return all(
+            self.counters.get(place, 0) >= threshold for place, threshold in conditions
+        )
+
+    def _run_guarded(
+        self,
+        statement: Guarded,
+        resolve_choice: ChoiceResolver,
+        result: ActivationResult,
+        depth: int,
+    ) -> None:
+        if statement.kind == "if":
+            result.cycles += self.cost.test_cycles
+            if self._guard_holds(statement.conditions):
+                self._run_block(statement.body, resolve_choice, result, depth)
+            return
+        # while loop
+        iterations = 0
+        while True:
+            result.cycles += self.cost.test_cycles
+            if not self._guard_holds(statement.conditions):
+                return
+            self._run_block(statement.body, resolve_choice, result, depth)
+            iterations += 1
+            if iterations > 1_000_000:
+                raise ExecutionError(
+                    "while-guard did not terminate; the generated code would "
+                    "loop forever"
+                )
+
+    def _run_choice(
+        self,
+        statement: ChoiceIf,
+        resolve_choice: ChoiceResolver,
+        result: ActivationResult,
+        depth: int,
+    ) -> None:
+        result.cycles += self.cost.test_cycles
+        chosen = resolve_choice(statement.place)
+        result.choices_taken[statement.place] = chosen
+        for choice, branch in statement.branches:
+            if choice == chosen:
+                self._run_block(branch, resolve_choice, result, depth)
+                return
+        # The data selected an alternative outside this task: nothing to do.
+
+
+class ProgramExecutor:
+    """Executes a whole program: one :class:`TaskExecutor` per task."""
+
+    def __init__(self, program: Program, cost_model: Optional[CostModel] = None) -> None:
+        self.program = program
+        self.cost = cost_model or CostModel()
+        self.tasks: Dict[str, TaskExecutor] = {
+            task.name: TaskExecutor(task, self.cost) for task in program.tasks
+        }
+        self._source_to_task: Dict[str, str] = {}
+        for task in program.tasks:
+            for source in task.source_transitions:
+                self._source_to_task[source] = task.name
+
+    def task_for_source(self, source: str) -> TaskExecutor:
+        try:
+            return self.tasks[self._source_to_task[source]]
+        except KeyError:
+            raise KeyError(f"no task is triggered by source {source!r}") from None
+
+    def reset(self) -> None:
+        for executor in self.tasks.values():
+            executor.reset()
+
+    def activate_source(
+        self, source: str, resolve_choice: ChoiceResolver
+    ) -> ActivationResult:
+        """Activate the task triggered by ``source`` (one input event)."""
+        return self.task_for_source(source).activate(resolve_choice)
+
+
+def make_resolver(choices: Mapping[str, str], default_first: bool = False) -> ChoiceResolver:
+    """Build a resolver from a fixed ``{place: transition}`` mapping.
+
+    When ``default_first`` is False a missing place raises ``KeyError`` so
+    that workload bugs surface immediately.
+    """
+
+    def resolve(place: str) -> str:
+        if place in choices:
+            return choices[place]
+        if default_first:
+            return ""
+        raise KeyError(f"no resolution provided for choice place {place!r}")
+
+    return resolve

@@ -1,0 +1,190 @@
+"""Petri net substrate: data model, structure theory, invariants and analysis.
+
+This package provides everything the QSS algorithm (and the rest of the
+library) needs from Petri net theory:
+
+* :class:`~repro.petrinet.net.PetriNet`, :class:`~repro.petrinet.net.Place`,
+  :class:`~repro.petrinet.net.Transition` — the weighted place/transition
+  net model with an initial :class:`~repro.petrinet.marking.Marking`.
+* :class:`~repro.petrinet.builder.NetBuilder` — fluent model construction.
+* :mod:`~repro.petrinet.structure` — net-class predicates (marked graph,
+  conflict-free, free-choice) and the equal conflict relation.
+* :mod:`~repro.petrinet.incidence` / :mod:`~repro.petrinet.invariants` —
+  state equation, T- and S-invariants, consistency.
+* :mod:`~repro.petrinet.simulation` — token game, finite complete cycles.
+* :mod:`~repro.petrinet.reachability` — reachability, boundedness
+  (Karp–Miller), deadlock and liveness.
+* :mod:`~repro.petrinet.generators` — parameterized net families.
+"""
+
+from .builder import NetBuilder
+from .exceptions import (
+    DuplicateNodeError,
+    InconsistentNetError,
+    InvalidArcError,
+    InvalidMarkingError,
+    NotConflictFreeError,
+    NotEnabledError,
+    NotFreeChoiceError,
+    NotSchedulableError,
+    PetriNetError,
+    SerializationError,
+    UnknownNodeError,
+)
+from .incidence import (
+    IncidenceMatrices,
+    apply_state_equation,
+    incidence_matrices,
+    is_firing_count_stationary,
+    marking_change,
+)
+from .invariants import (
+    combine_invariants,
+    invariants_containing,
+    is_conservative,
+    is_consistent,
+    minimal_positive_t_invariant,
+    s_invariants,
+    scale_invariant,
+    t_invariants,
+    uncovered_transitions,
+)
+from .marking import Marking
+from .net import Arc, PetriNet, Place, Transition
+from .reachability import (
+    CoverabilityResult,
+    ReachabilityGraph,
+    build_reachability_graph,
+    coverability_analysis,
+    find_deadlocks,
+    is_bounded,
+    is_deadlock_free,
+    is_k_bounded,
+    is_live,
+    is_reachable,
+    is_safe,
+    place_bounds,
+)
+from .serialization import (
+    load_net,
+    net_from_dict,
+    net_from_json,
+    net_to_dict,
+    net_to_json,
+    save_net,
+)
+from .simulation import (
+    SimulationTrace,
+    Simulator,
+    find_finite_complete_cycle,
+    find_firing_sequence,
+    fire_sequence,
+    is_finite_complete_cycle,
+    is_fireable,
+    make_adversarial_policy,
+    make_random_policy,
+    policy_first_enabled,
+)
+from .structure import (
+    choice_sets,
+    classify,
+    clusters,
+    conflicting_transitions,
+    connected_components,
+    equal_conflict_sets,
+    in_equal_conflict,
+    is_conflict_free,
+    is_connected,
+    is_extended_free_choice,
+    is_free_choice,
+    is_marked_graph,
+    is_ordinary,
+    is_strongly_connected,
+    preset_vector,
+)
+from .dot import net_to_dot
+
+__all__ = [
+    # model
+    "PetriNet",
+    "Place",
+    "Transition",
+    "Arc",
+    "Marking",
+    "NetBuilder",
+    # exceptions
+    "PetriNetError",
+    "DuplicateNodeError",
+    "UnknownNodeError",
+    "InvalidArcError",
+    "NotEnabledError",
+    "InvalidMarkingError",
+    "NotFreeChoiceError",
+    "NotConflictFreeError",
+    "InconsistentNetError",
+    "NotSchedulableError",
+    "SerializationError",
+    # structure
+    "is_marked_graph",
+    "is_conflict_free",
+    "is_free_choice",
+    "is_extended_free_choice",
+    "is_ordinary",
+    "classify",
+    "in_equal_conflict",
+    "equal_conflict_sets",
+    "conflicting_transitions",
+    "choice_sets",
+    "clusters",
+    "preset_vector",
+    "is_connected",
+    "is_strongly_connected",
+    "connected_components",
+    # incidence / invariants
+    "IncidenceMatrices",
+    "incidence_matrices",
+    "apply_state_equation",
+    "is_firing_count_stationary",
+    "marking_change",
+    "t_invariants",
+    "s_invariants",
+    "is_consistent",
+    "is_conservative",
+    "uncovered_transitions",
+    "invariants_containing",
+    "combine_invariants",
+    "scale_invariant",
+    "minimal_positive_t_invariant",
+    # simulation
+    "Simulator",
+    "SimulationTrace",
+    "fire_sequence",
+    "is_fireable",
+    "is_finite_complete_cycle",
+    "find_firing_sequence",
+    "find_finite_complete_cycle",
+    "policy_first_enabled",
+    "make_random_policy",
+    "make_adversarial_policy",
+    # reachability
+    "ReachabilityGraph",
+    "build_reachability_graph",
+    "CoverabilityResult",
+    "coverability_analysis",
+    "is_reachable",
+    "is_bounded",
+    "is_k_bounded",
+    "is_safe",
+    "is_deadlock_free",
+    "find_deadlocks",
+    "is_live",
+    "place_bounds",
+    # serialization / export
+    "net_to_dict",
+    "net_from_dict",
+    "net_to_json",
+    "net_from_json",
+    "save_net",
+    "load_net",
+    "net_to_dot",
+]

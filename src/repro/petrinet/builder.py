@@ -1,0 +1,141 @@
+"""Fluent builder for Petri nets.
+
+Model construction code (the figure gallery, the ATM server, tests)
+reads better with a small fluent layer on top of :class:`PetriNet`:
+
+>>> net = (NetBuilder("figure3a")
+...        .source("t1")
+...        .place("p1")
+...        .arc("t1", "p1")
+...        .choice("p1", ["t2", "t3"])
+...        .build())
+
+The builder creates nodes on demand: referencing an unknown name in
+``arc``/``chain`` creates it, inferring the kind (place or transition)
+from the naming convention ``p*`` / ``t*`` unless declared explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .exceptions import PetriNetError
+from .net import PetriNet
+
+
+class NetBuilder:
+    """Incrementally construct a :class:`PetriNet`."""
+
+    def __init__(self, name: str = "net") -> None:
+        self._net = PetriNet(name=name)
+
+    # -- node declaration ------------------------------------------------
+    def place(
+        self,
+        name: str,
+        tokens: int = 0,
+        capacity: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> "NetBuilder":
+        """Declare a place (idempotent when the tokens/capacity match)."""
+        if not self._net.has_place(name):
+            self._net.add_place(name, tokens=tokens, capacity=capacity, label=label)
+        elif tokens:
+            self._net.set_initial_tokens(name, tokens)
+        return self
+
+    def transition(
+        self,
+        name: str,
+        label: Optional[str] = None,
+        cost: int = 1,
+    ) -> "NetBuilder":
+        """Declare a transition (idempotent)."""
+        if not self._net.has_transition(name):
+            self._net.add_transition(name, label=label, cost=cost)
+        return self
+
+    def source(self, name: str, label: Optional[str] = None, cost: int = 1) -> "NetBuilder":
+        """Declare a source transition (environment input)."""
+        if not self._net.has_transition(name):
+            self._net.add_transition(
+                name, label=label, cost=cost, is_source_hint=True
+            )
+        return self
+
+    def sink(self, name: str, label: Optional[str] = None, cost: int = 1) -> "NetBuilder":
+        """Declare a sink transition (environment output)."""
+        if not self._net.has_transition(name):
+            self._net.add_transition(name, label=label, cost=cost, is_sink_hint=True)
+        return self
+
+    def tokens(self, place: str, count: int) -> "NetBuilder":
+        """Set the initial token count of an existing place."""
+        self._net.set_initial_tokens(place, count)
+        return self
+
+    # -- arc declaration ---------------------------------------------------
+    def arc(self, source: str, target: str, weight: int = 1) -> "NetBuilder":
+        """Add a weighted arc, creating missing endpoints by name convention.
+
+        Names starting with ``p`` are created as places, anything else as
+        a transition.  Mixed models should declare nodes explicitly first.
+        """
+        self._ensure_node(source, prefer_place=source.startswith("p"))
+        self._ensure_node(target, prefer_place=target.startswith("p"))
+        self._net.add_arc(source, target, weight)
+        return self
+
+    def chain(self, *nodes: Union[str, Tuple[str, int]]) -> "NetBuilder":
+        """Add a linear chain of arcs.
+
+        Each element is a node name or ``(name, weight)`` where the weight
+        applies to the arc *into* that node:
+
+        >>> builder.chain("t1", "p1", ("t2", 2))   # t1 -> p1 -> t2 with weight 2 on p1->t2
+        """
+        previous: Optional[str] = None
+        for node in nodes:
+            if isinstance(node, tuple):
+                name, weight = node
+            else:
+                name, weight = node, 1
+            if previous is not None:
+                self.arc(previous, name, weight)
+            else:
+                self._ensure_node(name, prefer_place=name.startswith("p"))
+            previous = name
+        return self
+
+    def choice(self, place: str, transitions: Sequence[str]) -> "NetBuilder":
+        """Connect a choice place to each of its alternative successors."""
+        self._ensure_node(place, prefer_place=True)
+        for transition in transitions:
+            self._ensure_node(transition, prefer_place=False)
+            self._net.add_arc(place, transition)
+        return self
+
+    def merge(self, transitions: Sequence[str], place: str) -> "NetBuilder":
+        """Connect several producer transitions into one merge place."""
+        self._ensure_node(place, prefer_place=True)
+        for transition in transitions:
+            self._ensure_node(transition, prefer_place=False)
+            self._net.add_arc(transition, place)
+        return self
+
+    def _ensure_node(self, name: str, prefer_place: bool) -> None:
+        if self._net.has_node(name):
+            return
+        if prefer_place:
+            self._net.add_place(name)
+        else:
+            self._net.add_transition(name)
+
+    # -- finalization ------------------------------------------------------
+    def build(self) -> PetriNet:
+        """Return the constructed net."""
+        return self._net
+
+    @property
+    def net(self) -> PetriNet:
+        return self._net

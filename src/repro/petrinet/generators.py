@@ -1,0 +1,225 @@
+"""Parameterized and random net generators.
+
+These families are used by the property-based tests and by the
+scalability benchmarks (experiment E10 in DESIGN.md): the number of
+T-reductions of a free-choice net grows exponentially with the number of
+independent choices, while static scheduling of each reduction and code
+generation stay polynomial/linear.
+
+All generators produce nets that are free-choice by construction, and —
+unless stated otherwise — quasi-statically schedulable, so they can be
+pushed through the full QSS + code generation pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .builder import NetBuilder
+from .net import PetriNet
+
+
+def pipeline_net(
+    stages: int,
+    rates: Optional[Sequence[int]] = None,
+    name: Optional[str] = None,
+) -> PetriNet:
+    """A linear multirate pipeline (a marked graph / SDF chain).
+
+    ``t0 -> p0 -> t1 -> p1 -> ... -> t_stages`` where ``rates[i]`` is the
+    weight on the producing arc of place ``p_i`` (the consuming weight is
+    1), mirroring the Figure 2 style of multirate chain.
+
+    Parameters
+    ----------
+    stages:
+        Number of internal places (the chain has ``stages + 1``
+        transitions).
+    rates:
+        Production weight per stage; defaults to all 1 (a homogeneous
+        chain).
+    """
+    if stages < 1:
+        raise ValueError("a pipeline needs at least one stage")
+    if rates is None:
+        rates = [1] * stages
+    if len(rates) != stages:
+        raise ValueError("rates must have one entry per stage")
+    builder = NetBuilder(name or f"pipeline_{stages}")
+    builder.source("t0", label="input")
+    for i in range(stages):
+        builder.arc(f"t{i}", f"p{i}", weight=rates[i])
+        builder.arc(f"p{i}", f"t{i + 1}")
+    return builder.build()
+
+
+def choice_fan_net(branches: int, name: Optional[str] = None) -> PetriNet:
+    """One source, one choice place with ``branches`` alternatives.
+
+    Each alternative is a short branch ``t_bi -> p_bi -> t_ei`` ending in
+    a sink transition — the Figure 3a pattern generalized to ``branches``
+    alternatives.  The net has exactly one choice place and ``branches``
+    T-reductions.
+    """
+    if branches < 2:
+        raise ValueError("a choice needs at least two branches")
+    builder = NetBuilder(name or f"choice_fan_{branches}")
+    builder.source("t_in").arc("t_in", "p_choice")
+    for i in range(branches):
+        builder.arc("p_choice", f"t_b{i}")
+        builder.arc(f"t_b{i}", f"p_b{i}")
+        builder.arc(f"p_b{i}", f"t_e{i}")
+    return builder.build()
+
+
+def independent_choices_net(
+    choices: int, branches: int = 2, name: Optional[str] = None
+) -> PetriNet:
+    """``choices`` independent input streams, each with its own choice.
+
+    Each stream is a copy of :func:`choice_fan_net` with its own source
+    transition.  Because every stream appears in every finite complete
+    cycle, the number of distinct T-reductions is ``branches ** choices``
+    — the exponential family used by the scalability benchmark.
+    """
+    if choices < 1:
+        raise ValueError("need at least one choice")
+    builder = NetBuilder(name or f"independent_choices_{choices}x{branches}")
+    for c in range(choices):
+        builder.source(f"t_in{c}").arc(f"t_in{c}", f"p_c{c}")
+        for b in range(branches):
+            builder.arc(f"p_c{c}", f"t_{c}_b{b}")
+            builder.arc(f"t_{c}_b{b}", f"p_{c}_b{b}")
+            builder.arc(f"p_{c}_b{b}", f"t_{c}_e{b}")
+    return builder.build()
+
+
+def nested_choices_net(depth: int, name: Optional[str] = None) -> PetriNet:
+    """A chain of nested binary choices of the given depth.
+
+    Choice ``i + 1`` lies on one branch of choice ``i``, so the number of
+    distinct T-reductions is ``depth + 1`` (linear) even though there are
+    ``depth`` choice places and ``2 ** depth`` T-allocations — the family
+    that demonstrates why reduction deduplication matters.
+    """
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    builder = NetBuilder(name or f"nested_choices_{depth}")
+    builder.source("t_in").arc("t_in", "p_c0")
+    for i in range(depth):
+        # "stop" branch
+        builder.arc(f"p_c{i}", f"t_stop{i}")
+        builder.arc(f"t_stop{i}", f"p_stop{i}")
+        builder.arc(f"p_stop{i}", f"t_out{i}")
+        # "continue" branch
+        builder.arc(f"p_c{i}", f"t_go{i}")
+        if i + 1 < depth:
+            builder.arc(f"t_go{i}", f"p_c{i + 1}")
+        else:
+            builder.arc(f"t_go{i}", f"p_last")
+            builder.arc("p_last", "t_out_last")
+    return builder.build()
+
+
+def multirate_choice_net(
+    rate_a: int = 2, rate_b: int = 2, name: Optional[str] = None
+) -> PetriNet:
+    """The Figure 4 pattern with parameterizable weights.
+
+    A source feeds a binary choice; the first branch needs ``rate_a``
+    firings of the branch transition before its consumer is enabled, the
+    second branch produces ``rate_b`` tokens per firing that its consumer
+    drains one at a time.
+    """
+    builder = NetBuilder(name or f"multirate_choice_{rate_a}_{rate_b}")
+    builder.source("t1").arc("t1", "p1")
+    builder.arc("p1", "t2").arc("t2", "p2").arc("p2", "t4", weight=rate_a)
+    builder.arc("p1", "t3").arc("t3", "p3", weight=rate_b).arc("p3", "t5")
+    return builder.build()
+
+
+def unschedulable_merge_net(name: Optional[str] = None) -> PetriNet:
+    """The Figure 3b pattern: a choice whose branches must synchronize.
+
+    The downstream transition needs a token from *both* branches of the
+    choice, so an adversary that always resolves the choice the same way
+    accumulates tokens without bound — the canonical non-schedulable FCPN.
+    """
+    builder = NetBuilder(name or "unschedulable_merge")
+    builder.source("t1").arc("t1", "p1")
+    builder.arc("p1", "t2").arc("t2", "p2")
+    builder.arc("p1", "t3").arc("t3", "p3")
+    builder.arc("p2", "t4").arc("p3", "t4")
+    return builder.build()
+
+
+def random_free_choice_net(
+    seed: int,
+    n_choices: int = 3,
+    max_branch_length: int = 3,
+    max_weight: int = 3,
+    name: Optional[str] = None,
+) -> PetriNet:
+    """A random schedulable free-choice net.
+
+    The net is built as a set of independent streams, one per choice:
+    source -> choice place -> two branches of random length and random
+    (balanced) weights, each ending in a sink.  Because every branch is a
+    self-contained chain, every T-reduction is consistent and
+    deadlock-free, so the net is schedulable by construction; tests use
+    this family to cross-check the QSS implementation against the
+    coverability-based boundedness analysis.
+    """
+    rng = random.Random(seed)
+    builder = NetBuilder(name or f"random_fc_{seed}")
+    for c in range(n_choices):
+        source = f"t_src{c}"
+        choice_place = f"p_choice{c}"
+        builder.source(source).arc(source, choice_place)
+        for b in range(2):
+            length = rng.randint(1, max_branch_length)
+            previous = choice_place
+            for k in range(length):
+                transition = f"t_{c}_{b}_{k}"
+                place = f"p_{c}_{b}_{k}"
+                weight_out = rng.randint(1, max_weight)
+                builder.arc(previous, transition)
+                builder.arc(transition, place, weight=weight_out)
+                # make the consumer drain exactly what is produced per firing
+                consumer = f"t_{c}_{b}_{k}_drain"
+                builder.arc(place, consumer, weight=weight_out)
+                previous_place = f"p_{c}_{b}_{k}_next"
+                if k + 1 < length:
+                    builder.arc(consumer, previous_place)
+                    previous = previous_place
+    return builder.build()
+
+
+def random_marked_graph(
+    seed: int, n_transitions: int = 6, extra_places: int = 3, name: Optional[str] = None
+) -> PetriNet:
+    """A random strongly-connected marked graph with initial tokens.
+
+    Built as a ring of ``n_transitions`` transitions (guaranteeing a
+    T-invariant of all ones) plus ``extra_places`` chord places between
+    random transitions, each chord carrying one initial token so no
+    deadlock is introduced.
+    """
+    rng = random.Random(seed)
+    builder = NetBuilder(name or f"random_mg_{seed}")
+    for i in range(n_transitions):
+        builder.transition(f"t{i}")
+    for i in range(n_transitions):
+        j = (i + 1) % n_transitions
+        place = f"p_ring{i}"
+        tokens = 1 if i == 0 else 0
+        builder.place(place, tokens=tokens)
+        builder.arc(f"t{i}", place).arc(place, f"t{j}")
+    for k in range(extra_places):
+        a = rng.randrange(n_transitions)
+        b = rng.randrange(n_transitions)
+        place = f"p_chord{k}"
+        builder.place(place, tokens=1)
+        builder.arc(f"t{a}", place).arc(place, f"t{b}")
+    return builder.build()

@@ -1,0 +1,146 @@
+"""Incidence matrices and the state equation.
+
+The QSS schedulability check relies on the *state equation*
+``f(sigma)^T . D = 0`` (Sgroi et al. 1999, Section 2), where ``D`` is the
+incidence matrix of the net and ``f(sigma)`` the firing-count vector of a
+candidate cyclic sequence.  This module builds the input (``Pre``),
+output (``Post``) and incidence (``D = Post - Pre``) matrices with a
+fixed, documented row/column ordering so that vectors computed elsewhere
+(T-invariants, firing counts) can be mapped back to transition names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .marking import Marking
+from .net import PetriNet
+
+
+@dataclass(frozen=True)
+class IncidenceMatrices:
+    """Pre/Post/incidence matrices of a net with their index maps.
+
+    Rows are transitions, columns are places (the convention of the paper,
+    where the state equation is written ``f^T . D = 0`` with ``f`` indexed
+    by transitions).
+
+    Attributes
+    ----------
+    transitions / places:
+        Orderings of the matrix rows / columns.
+    pre:
+        ``pre[i, j] = F(p_j, t_i)`` — tokens consumed from place ``j`` by
+        transition ``i``.
+    post:
+        ``post[i, j] = F(t_i, p_j)`` — tokens produced into place ``j`` by
+        transition ``i``.
+    incidence:
+        ``post - pre``.
+    """
+
+    transitions: Tuple[str, ...]
+    places: Tuple[str, ...]
+    pre: np.ndarray
+    post: np.ndarray
+    incidence: np.ndarray
+
+    @property
+    def transition_index(self) -> Dict[str, int]:
+        return {t: i for i, t in enumerate(self.transitions)}
+
+    @property
+    def place_index(self) -> Dict[str, int]:
+        return {p: i for i, p in enumerate(self.places)}
+
+    def firing_vector(self, counts: Mapping[str, int]) -> np.ndarray:
+        """Convert a ``{transition: count}`` mapping to a row vector."""
+        vector = np.zeros(len(self.transitions), dtype=np.int64)
+        index = self.transition_index
+        for transition, count in counts.items():
+            vector[index[transition]] = count
+        return vector
+
+    def counts_from_vector(self, vector: Sequence[int]) -> Dict[str, int]:
+        """Convert a row vector back to a ``{transition: count}`` mapping,
+        dropping zero entries."""
+        return {
+            t: int(vector[i]) for i, t in enumerate(self.transitions) if vector[i]
+        }
+
+    def marking_vector(self, marking: Marking) -> np.ndarray:
+        """Convert a marking to a column vector aligned with ``places``."""
+        return np.array([marking[p] for p in self.places], dtype=np.int64)
+
+    def marking_from_vector(self, vector: Sequence[int]) -> Marking:
+        return Marking({p: int(vector[i]) for i, p in enumerate(self.places)})
+
+
+def incidence_matrices(net: PetriNet) -> IncidenceMatrices:
+    """Build the Pre, Post and incidence matrices of ``net``."""
+    transitions = tuple(net.transition_names)
+    places = tuple(net.place_names)
+    t_index = {t: i for i, t in enumerate(transitions)}
+    p_index = {p: i for i, p in enumerate(places)}
+    pre = np.zeros((len(transitions), len(places)), dtype=np.int64)
+    post = np.zeros((len(transitions), len(places)), dtype=np.int64)
+    for arc in net.arcs:
+        if arc.source in p_index:
+            # place -> transition: consumption
+            pre[t_index[arc.target], p_index[arc.source]] = arc.weight
+        else:
+            # transition -> place: production
+            post[t_index[arc.source], p_index[arc.target]] = arc.weight
+    return IncidenceMatrices(
+        transitions=transitions,
+        places=places,
+        pre=pre,
+        post=post,
+        incidence=post - pre,
+    )
+
+
+def apply_state_equation(
+    net: PetriNet, marking: Marking, firing_counts: Mapping[str, int]
+) -> Marking:
+    """Return ``marking + f^T . D`` as a marking.
+
+    This is the marking the net would reach from ``marking`` after firing
+    each transition the given number of times *if* a fireable ordering
+    exists; negative intermediate results raise
+    :class:`~repro.petrinet.exceptions.InvalidMarkingError` through the
+    :class:`Marking` constructor, signalling that no such ordering can
+    exist for these counts.
+    """
+    matrices = incidence_matrices(net)
+    m0 = matrices.marking_vector(marking)
+    f = matrices.firing_vector(firing_counts)
+    result = m0 + f @ matrices.incidence
+    return matrices.marking_from_vector(result)
+
+
+def is_firing_count_stationary(
+    net: PetriNet, firing_counts: Mapping[str, int]
+) -> bool:
+    """True if the firing-count vector satisfies ``f^T . D = 0``.
+
+    A stationary (cyclic) firing count returns any marking it is fired
+    from to itself, which is the algebraic precondition for a finite
+    complete cycle.
+    """
+    matrices = incidence_matrices(net)
+    f = matrices.firing_vector(firing_counts)
+    return bool(np.all(f @ matrices.incidence == 0))
+
+
+def marking_change(
+    net: PetriNet, firing_counts: Mapping[str, int]
+) -> Dict[str, int]:
+    """Return the net token change per place induced by ``firing_counts``."""
+    matrices = incidence_matrices(net)
+    f = matrices.firing_vector(firing_counts)
+    delta = f @ matrices.incidence
+    return {p: int(delta[i]) for i, p in enumerate(matrices.places) if delta[i]}

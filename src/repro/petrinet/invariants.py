@@ -1,0 +1,253 @@
+"""T-invariant and S-invariant computation.
+
+A **T-invariant** is a non-negative integer vector ``f`` indexed by
+transitions such that ``f^T . D = 0`` where ``D`` is the incidence
+matrix: firing every transition ``t`` exactly ``f[t]`` times (in any
+fireable order) returns the net to the marking it started from.  The
+existence of a positive T-invariant is the *consistency* condition of
+Definition 2.1 in the paper, and T-invariants are the algebraic skeleton
+of finite complete cycles.
+
+An **S-invariant** (place invariant) is the dual: a non-negative integer
+vector ``y`` over places with ``D . y = 0``; the weighted token count
+``m . y`` is then preserved by every firing.
+
+Minimal-support semiflows are computed with the classical
+Fourier–Motzkin / Farkas style elimination algorithm (Colom &
+Silva 1990) on exact integer arithmetic, so no floating point round-off
+can produce spurious invariants.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .incidence import IncidenceMatrices, incidence_matrices
+from .net import PetriNet
+
+
+def _normalize_row(row: np.ndarray) -> np.ndarray:
+    """Divide an integer vector by the gcd of its entries (gcd of 0s is 1)."""
+    values = [int(v) for v in row if v != 0]
+    if not values:
+        return row
+    divisor = 0
+    for value in values:
+        divisor = gcd(divisor, abs(value))
+    if divisor > 1:
+        return row // divisor
+    return row
+
+
+def _minimal_semiflows(matrix: np.ndarray, max_rows: int = 200_000) -> List[np.ndarray]:
+    """Return the minimal-support non-negative integer solutions of
+    ``x^T . matrix = 0`` (rows of the identity tableau are candidate
+    solutions ``x``).
+
+    Parameters
+    ----------
+    matrix:
+        Integer matrix with one row per variable (the unknown vector
+        ``x`` has one entry per row of ``matrix``).
+    max_rows:
+        Safety cap on the intermediate tableau size; exceeded only by
+        pathological nets, in which case a ``RuntimeError`` is raised
+        rather than silently truncating the result.
+    """
+    n_vars, n_cols = matrix.shape
+    # Tableau [A | I]: each row is (current combination applied to A, the
+    # combination coefficients over the original variables).
+    tableau = np.hstack(
+        [matrix.astype(object), np.eye(n_vars, dtype=object)]
+    )
+    rows: List[np.ndarray] = [tableau[i].copy() for i in range(n_vars)]
+
+    for col in range(n_cols):
+        positives = [r for r in rows if r[col] > 0]
+        negatives = [r for r in rows if r[col] < 0]
+        zeros = [r for r in rows if r[col] == 0]
+        new_rows: List[np.ndarray] = list(zeros)
+        for rp in positives:
+            for rn in negatives:
+                coeff_p = -int(rn[col])
+                coeff_n = int(rp[col])
+                combined = coeff_p * rp + coeff_n * rn
+                combined = _normalize_row(np.array(combined, dtype=object))
+                new_rows.append(combined)
+        rows = new_rows
+        if len(rows) > max_rows:
+            raise RuntimeError(
+                "semiflow computation exceeded the safety cap "
+                f"({len(rows)} intermediate rows)"
+            )
+        # prune rows whose support is a strict superset of another row's
+        rows = _prune_non_minimal(rows, n_cols, n_vars)
+
+    solutions = []
+    for row in rows:
+        support = row[n_cols:]
+        if any(v != 0 for v in support):
+            solutions.append(np.array([int(v) for v in support], dtype=np.int64))
+    return solutions
+
+
+def _prune_non_minimal(
+    rows: List[np.ndarray], n_cols: int, n_vars: int
+) -> List[np.ndarray]:
+    """Drop rows whose coefficient support strictly contains another row's."""
+    supports = []
+    for row in rows:
+        support = frozenset(
+            i for i in range(n_vars) if row[n_cols + i] != 0
+        )
+        supports.append(support)
+    keep: List[np.ndarray] = []
+    for i, row in enumerate(rows):
+        minimal = True
+        for j, other_support in enumerate(supports):
+            if i == j:
+                continue
+            if other_support < supports[i]:
+                minimal = False
+                break
+            if other_support == supports[i] and j < i:
+                # identical support: keep only the first occurrence
+                minimal = False
+                break
+        if minimal:
+            keep.append(row)
+    return keep
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def t_invariants(net: PetriNet) -> List[Dict[str, int]]:
+    """Return the minimal-support T-invariants of ``net``.
+
+    Each invariant is a ``{transition: count}`` mapping with positive
+    counts only.  Transitions absent from the mapping fire zero times.
+    """
+    matrices = incidence_matrices(net)
+    if not matrices.transitions:
+        return []
+    solutions = _minimal_semiflows(matrices.incidence)
+    invariants = [matrices.counts_from_vector(v) for v in solutions]
+    invariants.sort(key=lambda inv: sorted(inv.items()))
+    return invariants
+
+
+def s_invariants(net: PetriNet) -> List[Dict[str, int]]:
+    """Return the minimal-support S-invariants (place invariants)."""
+    matrices = incidence_matrices(net)
+    if not matrices.places:
+        return []
+    solutions = _minimal_semiflows(matrices.incidence.T)
+    invariants = []
+    for vector in solutions:
+        invariants.append(
+            {p: int(vector[i]) for i, p in enumerate(matrices.places) if vector[i]}
+        )
+    invariants.sort(key=lambda inv: sorted(inv.items()))
+    return invariants
+
+
+def is_consistent(net: PetriNet) -> bool:
+    """Return True if the net admits a positive T-invariant.
+
+    Definition 2.1 of the paper: a net is consistent iff there exists
+    ``f > 0`` with ``f^T . D = 0``.  Equivalently, the union of the
+    supports of the minimal T-invariants covers every transition
+    (non-negative combinations of semiflows are semiflows).
+    """
+    names = set(net.transition_names)
+    if not names:
+        return True
+    covered: set = set()
+    for invariant in t_invariants(net):
+        covered.update(invariant)
+        if covered == names:
+            return True
+    return covered == names
+
+
+def is_conservative(net: PetriNet) -> bool:
+    """Return True if the net admits a positive S-invariant (every place is
+    covered by some place invariant)."""
+    names = set(net.place_names)
+    if not names:
+        return True
+    covered: set = set()
+    for invariant in s_invariants(net):
+        covered.update(invariant)
+        if covered == names:
+            return True
+    return covered == names
+
+
+def uncovered_transitions(net: PetriNet) -> List[str]:
+    """Transitions not covered by any minimal T-invariant.
+
+    A non-empty result explains *why* a net (typically a T-reduction) is
+    inconsistent and therefore not schedulable; it is used to produce
+    designer-facing diagnostics.
+    """
+    covered: set = set()
+    for invariant in t_invariants(net):
+        covered.update(invariant)
+    return [t for t in net.transition_names if t not in covered]
+
+
+def invariants_containing(
+    net: PetriNet, transition: str, invariants: Optional[List[Dict[str, int]]] = None
+) -> List[Dict[str, int]]:
+    """Return the minimal T-invariants whose support contains ``transition``."""
+    if invariants is None:
+        invariants = t_invariants(net)
+    return [inv for inv in invariants if transition in inv]
+
+
+def combine_invariants(invariants: Iterable[Dict[str, int]]) -> Dict[str, int]:
+    """Sum a collection of T-invariants into a single firing-count vector."""
+    total: Dict[str, int] = {}
+    for invariant in invariants:
+        for transition, count in invariant.items():
+            total[transition] = total.get(transition, 0) + count
+    return total
+
+
+def scale_invariant(invariant: Dict[str, int], factor: int) -> Dict[str, int]:
+    """Multiply every component of a T-invariant by ``factor``."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    return {t: c * factor for t, c in invariant.items()}
+
+
+def minimal_positive_t_invariant(net: PetriNet) -> Optional[Dict[str, int]]:
+    """Return the component-wise smallest positive T-invariant, if any.
+
+    For consistent conflict-free nets (the T-reductions used by QSS and
+    the marked graphs obtained from SDF graphs) the minimal positive
+    invariant is the sum of the minimal-support invariants, each scaled
+    to the smallest common repetition (for a connected SDF graph the
+    T-invariant space is one dimensional and the result coincides with
+    the SDF repetition vector).  Returns ``None`` when the net is not
+    consistent.
+    """
+    if not is_consistent(net):
+        return None
+    invariants = t_invariants(net)
+    names = list(net.transition_names)
+    # Greedy cover: add minimal invariants until every transition is covered.
+    covered: set = set()
+    chosen: List[Dict[str, int]] = []
+    for invariant in invariants:
+        if not set(invariant) <= covered:
+            chosen.append(invariant)
+            covered.update(invariant)
+        if covered == set(names):
+            break
+    return combine_invariants(chosen)

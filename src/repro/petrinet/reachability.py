@@ -1,0 +1,320 @@
+"""Reachability, coverability, boundedness, deadlock and liveness analysis.
+
+The paper lists reachability, boundedness, deadlock-freedom and liveness
+as the decidable Petri net properties relevant to software synthesis
+(Section 2).  The QSS algorithm itself only needs T-invariants and
+constrained simulation, but the exploratory analyses here are used by
+
+* tests, to independently confirm what QSS claims (e.g. that a net
+  declared unschedulable really can exceed any bound under an
+  adversarial choice policy),
+* the diagnostics produced for unschedulable specifications,
+* the example applications, as a model sanity check.
+
+For bounded nets the reachability graph is finite and explored
+exhaustively; for possibly-unbounded nets the Karp–Miller coverability
+tree with omega-acceleration is used.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from .marking import Marking
+from .net import PetriNet
+
+#: Sentinel token count representing "unbounded" in coverability analysis.
+OMEGA = -1
+
+
+@dataclass
+class ReachabilityGraph:
+    """Explicit reachability graph of a (bounded portion of a) net.
+
+    Attributes
+    ----------
+    markings:
+        All distinct markings discovered.
+    edges:
+        ``(source marking index, transition, target marking index)``.
+    complete:
+        True if exploration finished without hitting the node limit; the
+        boundedness/deadlock/liveness answers are only exact when the
+        graph is complete.
+    """
+
+    markings: List[Marking] = field(default_factory=list)
+    edges: List[Tuple[int, str, int]] = field(default_factory=list)
+    complete: bool = True
+
+    @property
+    def initial(self) -> Marking:
+        return self.markings[0]
+
+    def index_of(self, marking: Marking) -> Optional[int]:
+        try:
+            return self.markings.index(marking)
+        except ValueError:
+            return None
+
+    def successors(self, index: int) -> List[Tuple[str, int]]:
+        return [(t, dst) for src, t, dst in self.edges if src == index]
+
+    def deadlock_markings(self) -> List[Marking]:
+        """Markings with no outgoing edge (no enabled transition)."""
+        with_successors = {src for src, _, _ in self.edges}
+        return [
+            marking
+            for i, marking in enumerate(self.markings)
+            if i not in with_successors
+        ]
+
+
+def build_reachability_graph(
+    net: PetriNet, max_markings: int = 100_000, marking: Optional[Marking] = None
+) -> ReachabilityGraph:
+    """Breadth-first exploration of the reachable markings.
+
+    Exploration stops (and ``complete`` is set to False) when
+    ``max_markings`` distinct markings have been discovered, which is the
+    only way to terminate on unbounded nets.
+    """
+    start = marking if marking is not None else net.initial_marking
+    graph = ReachabilityGraph(markings=[start])
+    index: Dict[Marking, int] = {start: 0}
+    queue = deque([0])
+    while queue:
+        current_index = queue.popleft()
+        current = graph.markings[current_index]
+        for transition in net.enabled_transitions(current):
+            successor = net.fire(transition, current)
+            if successor not in index:
+                if len(graph.markings) >= max_markings:
+                    graph.complete = False
+                    return graph
+                index[successor] = len(graph.markings)
+                graph.markings.append(successor)
+                queue.append(index[successor])
+            graph.edges.append((current_index, transition, index[successor]))
+    return graph
+
+
+def is_reachable(
+    net: PetriNet,
+    target: Marking,
+    marking: Optional[Marking] = None,
+    max_markings: int = 100_000,
+) -> bool:
+    """True if ``target`` is reachable from ``marking`` (exact for bounded
+    nets explored within the limit)."""
+    graph = build_reachability_graph(net, max_markings=max_markings, marking=marking)
+    return target in graph.markings
+
+
+# ----------------------------------------------------------------------
+# Coverability (Karp–Miller) for boundedness on possibly-unbounded nets
+# ----------------------------------------------------------------------
+@dataclass
+class CoverabilityResult:
+    """Outcome of the Karp–Miller coverability construction.
+
+    ``unbounded_places`` lists the places that can accumulate an
+    unbounded number of tokens under *some* firing sequence; the net is
+    bounded iff this list is empty.
+    """
+
+    bounded: bool
+    unbounded_places: List[str]
+    node_count: int
+    place_bounds: Dict[str, int]
+
+
+def _omega_add(a: int, b: int) -> int:
+    if a == OMEGA or b == OMEGA:
+        return OMEGA
+    return a + b
+
+
+def _covers(big: Tuple[int, ...], small: Tuple[int, ...]) -> bool:
+    for x, y in zip(big, small):
+        if y == OMEGA and x != OMEGA:
+            return False
+        if x != OMEGA and y != OMEGA and x < y:
+            return False
+    return True
+
+
+def coverability_analysis(
+    net: PetriNet, marking: Optional[Marking] = None, max_nodes: int = 200_000
+) -> CoverabilityResult:
+    """Karp–Miller coverability tree with omega acceleration.
+
+    Whenever a new node strictly covers one of its ancestors, the strictly
+    larger components are accelerated to omega, which makes the tree
+    finite and identifies exactly the places that can grow without bound.
+    """
+    places = tuple(net.place_names)
+    start_marking = marking if marking is not None else net.initial_marking
+    start = tuple(start_marking[p] for p in places)
+
+    def enabled(vector: Tuple[int, ...], transition: str) -> bool:
+        for place, weight in net.preset(transition).items():
+            value = vector[places.index(place)]
+            if value != OMEGA and value < weight:
+                return False
+        return True
+
+    place_index = {p: i for i, p in enumerate(places)}
+
+    def fire(vector: Tuple[int, ...], transition: str) -> Tuple[int, ...]:
+        result = list(vector)
+        for place, weight in net.preset(transition).items():
+            i = place_index[place]
+            if result[i] != OMEGA:
+                result[i] -= weight
+        for place, weight in net.postset(transition).items():
+            i = place_index[place]
+            result[i] = _omega_add(result[i], weight)
+        return tuple(result)
+
+    # Each stack entry carries the node and its ancestor chain for the
+    # acceleration test.
+    seen: Set[Tuple[int, ...]] = {start}
+    stack: List[Tuple[Tuple[int, ...], Tuple[Tuple[int, ...], ...]]] = [(start, ())]
+    unbounded: Set[str] = set()
+    bounds: Dict[str, int] = {p: start[i] for i, p in enumerate(places)}
+    node_count = 1
+
+    while stack:
+        vector, ancestors = stack.pop()
+        for transition in net.transition_names:
+            if not enabled(vector, transition):
+                continue
+            successor = list(fire(vector, transition))
+            # omega acceleration against every ancestor and the current node
+            for ancestor in ancestors + (vector,):
+                if _covers(tuple(successor), ancestor) and tuple(successor) != ancestor:
+                    for i in range(len(places)):
+                        anc_value = ancestor[i]
+                        succ_value = successor[i]
+                        if succ_value == OMEGA:
+                            continue
+                        if anc_value != OMEGA and succ_value > anc_value:
+                            successor[i] = OMEGA
+            successor_t = tuple(successor)
+            for i, value in enumerate(successor_t):
+                if value == OMEGA:
+                    unbounded.add(places[i])
+                else:
+                    bounds[places[i]] = max(bounds[places[i]], value)
+            if successor_t not in seen:
+                if node_count >= max_nodes:
+                    # conservative: report what has been found so far
+                    return CoverabilityResult(
+                        bounded=not unbounded,
+                        unbounded_places=sorted(unbounded),
+                        node_count=node_count,
+                        place_bounds=bounds,
+                    )
+                seen.add(successor_t)
+                node_count += 1
+                stack.append((successor_t, ancestors + (vector,)))
+    return CoverabilityResult(
+        bounded=not unbounded,
+        unbounded_places=sorted(unbounded),
+        node_count=node_count,
+        place_bounds=bounds,
+    )
+
+
+def is_bounded(net: PetriNet, marking: Optional[Marking] = None) -> bool:
+    """True if no place can accumulate an unbounded number of tokens."""
+    return coverability_analysis(net, marking=marking).bounded
+
+
+def is_k_bounded(net: PetriNet, k: int, marking: Optional[Marking] = None) -> bool:
+    """True if no reachable marking puts more than ``k`` tokens in a place."""
+    result = coverability_analysis(net, marking=marking)
+    if not result.bounded:
+        return False
+    return all(bound <= k for bound in result.place_bounds.values())
+
+
+def is_safe(net: PetriNet, marking: Optional[Marking] = None) -> bool:
+    """True if the net is 1-bounded (the assumption of Lin's method that
+    the paper explicitly drops)."""
+    return is_k_bounded(net, 1, marking=marking)
+
+
+# ----------------------------------------------------------------------
+# Deadlock and liveness (exact on bounded nets)
+# ----------------------------------------------------------------------
+def find_deadlocks(
+    net: PetriNet, marking: Optional[Marking] = None, max_markings: int = 100_000
+) -> List[Marking]:
+    """Reachable markings with no enabled transition."""
+    graph = build_reachability_graph(net, max_markings=max_markings, marking=marking)
+    return graph.deadlock_markings()
+
+
+def is_deadlock_free(
+    net: PetriNet, marking: Optional[Marking] = None, max_markings: int = 100_000
+) -> bool:
+    """True if every reachable marking enables at least one transition."""
+    return not find_deadlocks(net, marking=marking, max_markings=max_markings)
+
+
+def is_live(
+    net: PetriNet, marking: Optional[Marking] = None, max_markings: int = 100_000
+) -> bool:
+    """True if from every reachable marking every transition can eventually
+    fire again (exact for nets whose reachability graph fits in the limit)."""
+    graph = build_reachability_graph(net, max_markings=max_markings, marking=marking)
+    if not graph.complete:
+        raise RuntimeError(
+            "liveness is only decided exactly on nets whose reachability "
+            "graph fits within the exploration limit"
+        )
+    n = len(graph.markings)
+    successors: Dict[int, List[Tuple[str, int]]] = {i: [] for i in range(n)}
+    for src, transition, dst in graph.edges:
+        successors[src].append((transition, dst))
+
+    # For each marking, the set of transitions fireable somewhere in its forward closure.
+    all_transitions = set(net.transition_names)
+    for start in range(n):
+        fireable: Set[str] = set()
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for transition, dst in successors[node]:
+                fireable.add(transition)
+                if dst not in seen:
+                    seen.add(dst)
+                    queue.append(dst)
+            if fireable == all_transitions:
+                break
+        if fireable != all_transitions:
+            return False
+    return True
+
+
+def place_bounds(
+    net: PetriNet, marking: Optional[Marking] = None
+) -> Dict[str, Optional[int]]:
+    """Per-place token bound, ``None`` meaning unbounded.
+
+    For schedulable nets these bounds are what static buffer allocation
+    in the generated C code relies upon.
+    """
+    result = coverability_analysis(net, marking=marking)
+    bounds: Dict[str, Optional[int]] = {}
+    for place in net.place_names:
+        if place in result.unbounded_places:
+            bounds[place] = None
+        else:
+            bounds[place] = result.place_bounds.get(place, 0)
+    return bounds

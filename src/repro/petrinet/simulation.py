@@ -1,0 +1,266 @@
+"""Token-game simulation of Petri nets.
+
+Two kinds of simulation are needed by the paper's algorithms:
+
+1. **Constrained simulation** (:func:`find_firing_sequence`): given a
+   firing-count vector (typically a T-invariant), find an ordering of the
+   firings that is actually executable from the initial marking — this is
+   the "verify by simulation that the net does not deadlock" step of
+   Section 2 (and condition (3) of Definition 3.5).  The sequence found,
+   if any, is a finite complete cycle.
+
+2. **Free simulation** (:class:`Simulator`): execute the net step by step
+   under a pluggable choice policy; used by the runtime substrate, by the
+   adversarial boundedness experiments and by tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .exceptions import NotEnabledError
+from .marking import Marking
+from .net import PetriNet
+
+ChoicePolicy = Callable[[PetriNet, Marking, List[str]], str]
+
+
+@dataclass
+class SimulationTrace:
+    """Record of a simulation run.
+
+    Attributes
+    ----------
+    fired:
+        The sequence of transitions fired, in order.
+    markings:
+        The marking after each firing; ``markings[0]`` is the initial
+        marking, so ``len(markings) == len(fired) + 1``.
+    deadlocked:
+        True if the run stopped because no transition was enabled.
+    """
+
+    fired: List[str] = field(default_factory=list)
+    markings: List[Marking] = field(default_factory=list)
+    deadlocked: bool = False
+
+    @property
+    def final_marking(self) -> Marking:
+        return self.markings[-1]
+
+    def max_tokens(self) -> Dict[str, int]:
+        """Maximum number of tokens observed in each place across the run."""
+        peak: Dict[str, int] = {}
+        for marking in self.markings:
+            for place, count in marking.tokens.items():
+                if count > peak.get(place, 0):
+                    peak[place] = count
+        return peak
+
+    def firing_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for transition in self.fired:
+            counts[transition] = counts.get(transition, 0) + 1
+        return counts
+
+
+def fire_sequence(
+    net: PetriNet, sequence: Sequence[str], marking: Optional[Marking] = None
+) -> Marking:
+    """Fire ``sequence`` from ``marking`` (default: the initial marking)
+    and return the resulting marking.
+
+    Raises :class:`~repro.petrinet.exceptions.NotEnabledError` if any
+    transition in the sequence is not enabled when its turn comes.
+    """
+    current = marking if marking is not None else net.initial_marking
+    for transition in sequence:
+        current = net.fire(transition, current)
+    return current
+
+
+def is_fireable(
+    net: PetriNet, sequence: Sequence[str], marking: Optional[Marking] = None
+) -> bool:
+    """True if ``sequence`` can be fired from ``marking`` without blocking."""
+    try:
+        fire_sequence(net, sequence, marking)
+    except NotEnabledError:
+        return False
+    return True
+
+
+def is_finite_complete_cycle(
+    net: PetriNet, sequence: Sequence[str], marking: Optional[Marking] = None
+) -> bool:
+    """True if ``sequence`` is fireable and returns the net to ``marking``.
+
+    This is the defining property of a finite complete cycle (Section 2):
+    the period of a static or quasi-static schedule.
+    """
+    start = marking if marking is not None else net.initial_marking
+    try:
+        end = fire_sequence(net, sequence, start)
+    except NotEnabledError:
+        return False
+    return end == start
+
+
+def find_firing_sequence(
+    net: PetriNet,
+    firing_counts: Mapping[str, int],
+    marking: Optional[Marking] = None,
+) -> Optional[List[str]]:
+    """Find an executable ordering of the given firing counts.
+
+    Given a firing-count vector (e.g. a T-invariant), search for a
+    sequence that fires each transition exactly ``firing_counts[t]``
+    times starting from ``marking`` without ever blocking.  Returns the
+    sequence, or ``None`` if no such ordering exists (the net would
+    deadlock for these counts, so the counts do not correspond to a
+    finite complete cycle).
+
+    The search is a depth-first search over remaining-count states with
+    memoization of failed states; for conflict-free nets (the only nets
+    this is applied to by the QSS algorithm) a greedy strategy succeeds
+    without backtracking in the common case, so the worst-case
+    exponential behaviour is not observed in practice.
+    """
+    start = marking if marking is not None else net.initial_marking
+    remaining = {t: int(c) for t, c in firing_counts.items() if c > 0}
+    if not remaining:
+        return []
+
+    failed: set = set()
+
+    def state_key(current: Marking, counts: Dict[str, int]) -> Tuple:
+        return (current, tuple(sorted(counts.items())))
+
+    sequence: List[str] = []
+
+    def search(current: Marking, counts: Dict[str, int]) -> bool:
+        if not counts:
+            return True
+        key = state_key(current, counts)
+        if key in failed:
+            return False
+        candidates = [
+            t for t in counts if net.is_enabled(t, current)
+        ]
+        for transition in candidates:
+            next_marking = net.fire(transition, current)
+            next_counts = dict(counts)
+            next_counts[transition] -= 1
+            if next_counts[transition] == 0:
+                del next_counts[transition]
+            sequence.append(transition)
+            if search(next_marking, next_counts):
+                return True
+            sequence.pop()
+        failed.add(key)
+        return False
+
+    if search(start, remaining):
+        return sequence
+    return None
+
+
+def find_finite_complete_cycle(
+    net: PetriNet,
+    firing_counts: Mapping[str, int],
+    marking: Optional[Marking] = None,
+) -> Optional[List[str]]:
+    """Find a finite complete cycle realizing ``firing_counts``.
+
+    This combines :func:`find_firing_sequence` with the check that the
+    final marking equals the starting one (it always does when the counts
+    satisfy the state equation, but the check guards against callers
+    passing non-stationary vectors).
+    """
+    start = marking if marking is not None else net.initial_marking
+    sequence = find_firing_sequence(net, firing_counts, start)
+    if sequence is None:
+        return None
+    if fire_sequence(net, sequence, start) != start:
+        return None
+    return sequence
+
+
+# ----------------------------------------------------------------------
+# Free simulation under a choice policy
+# ----------------------------------------------------------------------
+def policy_first_enabled(net: PetriNet, marking: Marking, enabled: List[str]) -> str:
+    """Deterministic policy: fire the first enabled transition in net order."""
+    return enabled[0]
+
+
+def make_random_policy(seed: int = 0) -> ChoicePolicy:
+    """Return a reproducible uniformly-random choice policy."""
+    rng = random.Random(seed)
+
+    def policy(net: PetriNet, marking: Marking, enabled: List[str]) -> str:
+        return rng.choice(enabled)
+
+    return policy
+
+
+def make_adversarial_policy(preferred: Sequence[str]) -> ChoicePolicy:
+    """Return a policy that always picks a preferred transition when it can.
+
+    This models the scheduling "adversary" of Section 3 who resolves
+    conflicts so as to accumulate tokens; tests use it to demonstrate the
+    unbounded behaviour of non-schedulable nets such as Figure 3b.
+    """
+    preference = list(preferred)
+
+    def policy(net: PetriNet, marking: Marking, enabled: List[str]) -> str:
+        for transition in preference:
+            if transition in enabled:
+                return transition
+        return enabled[0]
+
+    return policy
+
+
+class Simulator:
+    """Step-by-step token game simulator with a pluggable choice policy."""
+
+    def __init__(
+        self,
+        net: PetriNet,
+        marking: Optional[Marking] = None,
+        policy: ChoicePolicy = policy_first_enabled,
+    ) -> None:
+        self.net = net
+        self.marking = marking if marking is not None else net.initial_marking
+        self.policy = policy
+        self.trace = SimulationTrace(markings=[self.marking])
+
+    def enabled(self) -> List[str]:
+        """Transitions enabled in the current marking."""
+        return self.net.enabled_transitions(self.marking)
+
+    def step(self) -> Optional[str]:
+        """Fire one transition chosen by the policy.
+
+        Returns the fired transition name, or ``None`` if the net is
+        deadlocked (no transition enabled).
+        """
+        enabled = self.enabled()
+        if not enabled:
+            self.trace.deadlocked = True
+            return None
+        transition = self.policy(self.net, self.marking, enabled)
+        self.marking = self.net.fire(transition, self.marking)
+        self.trace.fired.append(transition)
+        self.trace.markings.append(self.marking)
+        return transition
+
+    def run(self, max_steps: int) -> SimulationTrace:
+        """Fire up to ``max_steps`` transitions (stopping early on deadlock)."""
+        for _ in range(max_steps):
+            if self.step() is None:
+                break
+        return self.trace

@@ -1,0 +1,67 @@
+"""Quasi-Static Scheduling of Free-Choice Petri Nets (the paper's core).
+
+Typical use::
+
+    from repro.qss import compute_valid_schedule, partition_tasks
+
+    schedule = compute_valid_schedule(net)      # raises if unschedulable
+    tasks = partition_tasks(schedule)           # one task per input rate
+"""
+
+from .allocation import (
+    TAllocation,
+    count_allocations,
+    enumerate_allocations,
+    validate_allocation,
+)
+from .reduction import (
+    ReductionStep,
+    TReduction,
+    assert_conflict_free,
+    count_distinct_reductions,
+    enumerate_reductions,
+    reduce_net,
+)
+from .schedulability import (
+    MAX_CYCLE_SCALE,
+    ReductionVerdict,
+    check_all_reductions,
+    check_reduction,
+)
+from .schedule import FiniteCompleteCycle, ValidSchedule
+from .scheduler import (
+    QuasiStaticScheduler,
+    SchedulabilityReport,
+    analyse,
+    compute_valid_schedule,
+    is_schedulable,
+)
+from .tasks import TaskDefinition, TaskPartition, minimum_task_count, partition_tasks
+
+__all__ = [
+    "TAllocation",
+    "enumerate_allocations",
+    "count_allocations",
+    "validate_allocation",
+    "TReduction",
+    "ReductionStep",
+    "reduce_net",
+    "enumerate_reductions",
+    "count_distinct_reductions",
+    "assert_conflict_free",
+    "ReductionVerdict",
+    "check_reduction",
+    "check_all_reductions",
+    "MAX_CYCLE_SCALE",
+    "FiniteCompleteCycle",
+    "ValidSchedule",
+    "SchedulabilityReport",
+    "analyse",
+    "is_schedulable",
+    "compute_valid_schedule",
+    "QuasiStaticScheduler",
+    "TaskDefinition",
+    "TaskPartition",
+    "partition_tasks",
+    "minimum_task_count",
+]

@@ -1,0 +1,194 @@
+"""Schedulability of T-reductions (Definition 3.5).
+
+A T-reduction is schedulable when
+
+1. it is *consistent* (it admits T-invariants whose supports cover every
+   transition of the reduction),
+2. for every source transition of the original net it has a T-invariant
+   containing that source transition, and
+3. a firing sequence realizing those invariants can actually be executed
+   from the initial marking without deadlock (verified by simulation, the
+   generalization of Lee's SDF result).
+
+Theorem 3.1: the FCPN has a valid schedule iff *every* T-reduction is
+schedulable.  This module implements the per-reduction check and returns
+rich diagnostics so that a designer can see exactly why a specification
+fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..petrinet import (
+    Marking,
+    PetriNet,
+    combine_invariants,
+    find_finite_complete_cycle,
+    invariants_containing,
+    t_invariants,
+)
+from .reduction import TReduction
+
+#: How many integer multiples of the covering invariant are attempted when
+#: searching for an executable ordering before declaring deadlock.
+MAX_CYCLE_SCALE = 3
+
+
+@dataclass
+class ReductionVerdict:
+    """Outcome of the schedulability check for one T-reduction.
+
+    Attributes
+    ----------
+    reduction:
+        The T-reduction that was checked.
+    schedulable:
+        The overall verdict (all three conditions hold).
+    consistent:
+        Condition (1): the reduction's transitions are covered by
+        T-invariants.
+    sources_covered:
+        Condition (2): every source transition of the original net lies in
+        some T-invariant of the reduction.
+    cycle:
+        Condition (3): a finite complete cycle realizing the covering
+        invariant, when one exists.
+    uncovered_transitions / uncovered_sources / source_places:
+        Diagnostics explaining a negative verdict.
+    invariants:
+        The minimal T-invariants of the reduction (kept for reporting and
+        for task partitioning).
+    """
+
+    reduction: TReduction
+    schedulable: bool
+    consistent: bool
+    sources_covered: bool
+    cycle: Optional[List[str]] = None
+    uncovered_transitions: List[str] = field(default_factory=list)
+    uncovered_sources: List[str] = field(default_factory=list)
+    source_places: List[str] = field(default_factory=list)
+    deadlocked: bool = False
+    invariants: List[Dict[str, int]] = field(default_factory=list)
+
+    def explain(self) -> str:
+        """One-paragraph explanation of the verdict for the designer."""
+        if self.schedulable:
+            return (
+                f"reduction {self.reduction.allocation} is schedulable; "
+                f"cycle length {len(self.cycle or [])}"
+            )
+        reasons = []
+        if not self.consistent:
+            reasons.append(
+                "inconsistent (no T-invariant covers transitions "
+                f"{self.uncovered_transitions})"
+            )
+        if not self.sources_covered:
+            reasons.append(
+                f"source transitions {self.uncovered_sources} are not part "
+                "of any T-invariant"
+            )
+        if self.deadlocked:
+            reasons.append(
+                "the covering T-invariant cannot be ordered into a firing "
+                "sequence from the initial marking (deadlock)"
+            )
+        if self.source_places:
+            reasons.append(
+                f"the reduction keeps source places {self.source_places} "
+                "with no producer, so repeated execution would need "
+                "infinitely many tokens from a removed branch"
+            )
+        return (
+            f"reduction {self.reduction.allocation} is NOT schedulable: "
+            + "; ".join(reasons)
+        )
+
+
+def _covering_counts(
+    reduction: TReduction,
+    invariants: List[Dict[str, int]],
+    sources: Sequence[str],
+) -> Dict[str, int]:
+    """Firing counts combining enough minimal invariants to cover every
+    transition of the reduction and every source transition of the net."""
+    needed = set(reduction.net.transition_names)
+    chosen: List[Dict[str, int]] = []
+    covered: set = set()
+    # First make sure each source transition is covered, then the rest.
+    for source in sources:
+        if source in covered:
+            continue
+        for invariant in invariants:
+            if source in invariant:
+                chosen.append(invariant)
+                covered.update(invariant)
+                break
+    for invariant in invariants:
+        if not set(invariant) <= covered:
+            chosen.append(invariant)
+            covered.update(invariant)
+        if covered >= needed:
+            break
+    return combine_invariants(chosen)
+
+
+def check_reduction(
+    net: PetriNet,
+    reduction: TReduction,
+    marking: Optional[Marking] = None,
+) -> ReductionVerdict:
+    """Check Definition 3.5 for one T-reduction of ``net``."""
+    sources = net.source_transitions()
+    reduced = reduction.net
+    invariants = t_invariants(reduced)
+
+    covered = set()
+    for invariant in invariants:
+        covered.update(invariant)
+    uncovered = [t for t in reduced.transition_names if t not in covered]
+    consistent = not uncovered
+
+    uncovered_sources = [
+        s
+        for s in sources
+        if not invariants_containing(reduced, s, invariants)
+    ]
+    sources_covered = not uncovered_sources
+
+    verdict = ReductionVerdict(
+        reduction=reduction,
+        schedulable=False,
+        consistent=consistent,
+        sources_covered=sources_covered,
+        uncovered_transitions=uncovered,
+        uncovered_sources=uncovered_sources,
+        source_places=reduction.source_places(),
+        invariants=invariants,
+    )
+    if not (consistent and sources_covered):
+        return verdict
+
+    counts = _covering_counts(reduction, invariants, sources)
+    start = marking if marking is not None else reduced.initial_marking
+    for scale in range(1, MAX_CYCLE_SCALE + 1):
+        scaled = {t: c * scale for t, c in counts.items()}
+        cycle = find_finite_complete_cycle(reduced, scaled, start)
+        if cycle is not None:
+            verdict.cycle = cycle
+            verdict.schedulable = True
+            return verdict
+    verdict.deadlocked = True
+    return verdict
+
+
+def check_all_reductions(
+    net: PetriNet,
+    reductions: Sequence[TReduction],
+    marking: Optional[Marking] = None,
+) -> List[ReductionVerdict]:
+    """Check every reduction; the net is schedulable iff all verdicts are."""
+    return [check_reduction(net, reduction, marking) for reduction in reductions]

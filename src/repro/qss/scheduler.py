@@ -1,0 +1,179 @@
+"""The Quasi-Static Scheduling algorithm (Section 3 of the paper).
+
+The top-level entry points are :func:`is_schedulable` and
+:func:`compute_valid_schedule`:
+
+1. check that the net is a Free-Choice Petri Net;
+2. decompose it into T-reductions, one per resolution of the
+   non-deterministic choices (deduplicating allocations that induce the
+   same reduction);
+3. statically schedule each reduction with the SDF-style machinery
+   (T-invariants + deadlock-free constrained simulation);
+4. if every reduction is schedulable (Theorem 3.1), assemble the valid
+   schedule — a set of finite complete cycles, one per reduction — from
+   which C code is synthesized by :mod:`repro.codegen`.
+
+When the net is not schedulable a :class:`SchedulabilityReport` explains
+which reductions fail and why, so the designer is "notified that there
+exists no implementation that can be executed forever with bounded
+memory".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..petrinet import Marking, PetriNet
+from ..petrinet.exceptions import NotFreeChoiceError, NotSchedulableError
+from ..petrinet.structure import is_free_choice
+from .allocation import count_allocations
+from .reduction import TReduction, enumerate_reductions
+from .schedulability import ReductionVerdict, check_reduction
+from .schedule import FiniteCompleteCycle, ValidSchedule
+
+
+@dataclass
+class SchedulabilityReport:
+    """Full outcome of the QSS schedulability analysis of a net.
+
+    Attributes
+    ----------
+    net:
+        The analysed net.
+    schedulable:
+        True iff every T-reduction is schedulable (Theorem 3.1).
+    verdicts:
+        Per-reduction verdicts with diagnostics.
+    allocation_count:
+        Number of T-allocations (product of the choice out-degrees).
+    reduction_count:
+        Number of *distinct* T-reductions — the number of finite complete
+        cycles a valid schedule will contain.
+    schedule:
+        The valid schedule when the net is schedulable, else ``None``.
+    """
+
+    net: PetriNet
+    schedulable: bool
+    verdicts: List[ReductionVerdict] = field(default_factory=list)
+    allocation_count: int = 0
+    reduction_count: int = 0
+    schedule: Optional[ValidSchedule] = None
+
+    @property
+    def failing_verdicts(self) -> List[ReductionVerdict]:
+        return [v for v in self.verdicts if not v.schedulable]
+
+    def explain(self) -> str:
+        """Multi-line human readable report."""
+        lines = [
+            f"net {self.net.name!r}: {self.allocation_count} T-allocations, "
+            f"{self.reduction_count} distinct T-reductions"
+        ]
+        if self.schedulable:
+            lines.append("the net is quasi-statically schedulable")
+        else:
+            lines.append("the net is NOT quasi-statically schedulable")
+            for verdict in self.failing_verdicts:
+                lines.append("  - " + verdict.explain())
+        return "\n".join(lines)
+
+
+def analyse(
+    net: PetriNet,
+    marking: Optional[Marking] = None,
+    require_free_choice: bool = True,
+) -> SchedulabilityReport:
+    """Run the complete QSS analysis and build the valid schedule if any.
+
+    Raises
+    ------
+    NotFreeChoiceError
+        If ``require_free_choice`` is True and the net is not free-choice.
+    """
+    if require_free_choice and not is_free_choice(net):
+        raise NotFreeChoiceError(
+            f"net {net.name!r} is not a Free-Choice Petri Net; the QSS "
+            "algorithm is only defined (and complete) for FCPNs"
+        )
+    reductions = enumerate_reductions(net, deduplicate=True)
+    verdicts = [check_reduction(net, reduction, marking) for reduction in reductions]
+    schedulable = all(v.schedulable for v in verdicts)
+    report = SchedulabilityReport(
+        net=net,
+        schedulable=schedulable,
+        verdicts=verdicts,
+        allocation_count=count_allocations(net),
+        reduction_count=len(reductions),
+    )
+    if schedulable:
+        schedule = ValidSchedule(net=net)
+        for verdict in verdicts:
+            assert verdict.cycle is not None
+            schedule.cycles.append(
+                FiniteCompleteCycle.from_sequence(
+                    verdict.cycle,
+                    allocation=verdict.reduction.allocation,
+                    reduction_transitions=verdict.reduction.transition_set,
+                )
+            )
+        report.schedule = schedule
+    return report
+
+
+def is_schedulable(net: PetriNet, marking: Optional[Marking] = None) -> bool:
+    """True iff the FCPN is quasi-statically schedulable (Definition 3.2)."""
+    return analyse(net, marking).schedulable
+
+
+def compute_valid_schedule(
+    net: PetriNet, marking: Optional[Marking] = None
+) -> ValidSchedule:
+    """Compute a valid schedule, raising when the net is not schedulable.
+
+    Raises
+    ------
+    NotSchedulableError
+        With the full diagnostic report in the message when the net has
+        no valid schedule.
+    """
+    report = analyse(net, marking)
+    if not report.schedulable or report.schedule is None:
+        raise NotSchedulableError(report.explain())
+    return report.schedule
+
+
+class QuasiStaticScheduler:
+    """Object-oriented facade over :func:`analyse` for incremental use.
+
+    The scheduler caches the report so that the examples/benchmarks can
+    query schedulability, the schedule and per-reduction details without
+    re-running the decomposition.
+    """
+
+    def __init__(self, net: PetriNet, marking: Optional[Marking] = None) -> None:
+        self.net = net
+        self.marking = marking
+        self._report: Optional[SchedulabilityReport] = None
+
+    @property
+    def report(self) -> SchedulabilityReport:
+        if self._report is None:
+            self._report = analyse(self.net, self.marking)
+        return self._report
+
+    def is_schedulable(self) -> bool:
+        return self.report.schedulable
+
+    def valid_schedule(self) -> ValidSchedule:
+        report = self.report
+        if not report.schedulable or report.schedule is None:
+            raise NotSchedulableError(report.explain())
+        return report.schedule
+
+    def reductions(self) -> List[TReduction]:
+        return [verdict.reduction for verdict in self.report.verdicts]
+
+    def explain(self) -> str:
+        return self.report.explain()

@@ -1,0 +1,28 @@
+"""Runtime substrate: cost model, event streams, RTOS and reactive execution."""
+
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .events import (
+    ChoiceSampler,
+    Event,
+    irregular_events,
+    merge_streams,
+    periodic_events,
+    with_choices,
+)
+from .reactive import ModuleAssignment, ReactiveNetSimulator
+from .rtos import RTOS, ExecutionStats
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "Event",
+    "periodic_events",
+    "irregular_events",
+    "merge_streams",
+    "with_choices",
+    "ChoiceSampler",
+    "RTOS",
+    "ExecutionStats",
+    "ModuleAssignment",
+    "ReactiveNetSimulator",
+]

@@ -1,0 +1,163 @@
+"""Environment event streams for the simulated target.
+
+The embedded system reacts to external events — in the ATM server, the
+irregular *Cell* interrupt and the periodic *Tick*.  This module models
+events, periodic and irregular (seeded pseudo-random) streams, and their
+interleaving into a single time-ordered testbench.
+
+Each event carries the resolutions of the data-dependent choices that the
+processing of that event will encounter, because in the real system those
+decisions depend on the data carried by the event (cell contents, buffer
+occupancy); the workload generators in :mod:`repro.apps.atm.workload`
+draw them from configurable probabilities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Event:
+    """One environment event.
+
+    Attributes
+    ----------
+    time:
+        Arrival time (abstract time units; only the ordering matters to
+        the RTOS simulator).
+    source:
+        Name of the source transition the event triggers (e.g. ``t_cell``).
+    choices:
+        Resolutions of the data-dependent choices for the processing of
+        this event: ``{choice place: chosen transition}``.
+    payload:
+        Optional free-form data (used by application-level examples).
+    """
+
+    time: float
+    source: str
+    choices: Mapping[str, str] = field(default_factory=dict)
+    payload: Optional[object] = None
+
+
+def periodic_events(
+    source: str,
+    period: float,
+    count: int,
+    start: float = 0.0,
+    choices: Optional[Mapping[str, str]] = None,
+) -> List[Event]:
+    """``count`` events spaced ``period`` apart (e.g. the ATM Tick)."""
+    if period <= 0:
+        raise ValueError("period must be positive")
+    return [
+        Event(time=start + i * period, source=source, choices=dict(choices or {}))
+        for i in range(count)
+    ]
+
+
+def irregular_events(
+    source: str,
+    mean_interval: float,
+    count: int,
+    seed: int = 0,
+    start: float = 0.0,
+    choices: Optional[Mapping[str, str]] = None,
+) -> List[Event]:
+    """``count`` events with exponentially distributed inter-arrival times.
+
+    Models inputs that occur "at irregular times", like the non-empty
+    cell arrivals of the ATM server.  The stream is fully determined by
+    ``seed`` so experiments are reproducible.
+    """
+    if mean_interval <= 0:
+        raise ValueError("mean_interval must be positive")
+    rng = random.Random(seed)
+    events = []
+    time = start
+    for _ in range(count):
+        time += rng.expovariate(1.0 / mean_interval)
+        events.append(Event(time=time, source=source, choices=dict(choices or {})))
+    return events
+
+
+def merge_streams(*streams: Sequence[Event]) -> List[Event]:
+    """Merge several event streams into one, ordered by time (stable)."""
+    merged: List[Event] = []
+    for stream in streams:
+        merged.extend(stream)
+    merged.sort(key=lambda event: event.time)
+    return merged
+
+
+def with_choices(
+    events: Iterable[Event], resolver: "ChoiceSampler"
+) -> List[Event]:
+    """Return a copy of ``events`` with choice resolutions drawn from
+    ``resolver`` (one draw per event)."""
+    return [
+        Event(
+            time=event.time,
+            source=event.source,
+            choices=resolver.sample(event.source),
+            payload=event.payload,
+        )
+        for event in events
+    ]
+
+
+class ChoiceSampler:
+    """Draws choice resolutions from per-place branch probabilities.
+
+    Parameters
+    ----------
+    probabilities:
+        ``{choice place: {successor transition: probability}}``; the
+        probabilities of each place are normalized automatically.
+    seed:
+        Seed of the private random stream.
+    per_source:
+        Optional restriction ``{source: [choice places]}``: when given,
+        an event from ``source`` only receives resolutions for its own
+        places (the other tasks' choices are irrelevant to it).
+    """
+
+    def __init__(
+        self,
+        probabilities: Mapping[str, Mapping[str, float]],
+        seed: int = 0,
+        per_source: Optional[Mapping[str, Sequence[str]]] = None,
+    ) -> None:
+        self._probabilities = {
+            place: dict(branches) for place, branches in probabilities.items()
+        }
+        self._rng = random.Random(seed)
+        self._per_source = (
+            {source: list(places) for source, places in per_source.items()}
+            if per_source
+            else None
+        )
+
+    def sample(self, source: Optional[str] = None) -> Dict[str, str]:
+        """Draw one resolution for every relevant choice place."""
+        if self._per_source is not None and source is not None:
+            places = self._per_source.get(source, [])
+        else:
+            places = list(self._probabilities)
+        resolution: Dict[str, str] = {}
+        for place in places:
+            branches = self._probabilities[place]
+            total = sum(branches.values())
+            draw = self._rng.random() * total
+            cumulative = 0.0
+            chosen = next(iter(branches))
+            for transition, weight in branches.items():
+                cumulative += weight
+                if draw <= cumulative:
+                    chosen = transition
+                    break
+            resolution[place] = chosen
+        return resolution

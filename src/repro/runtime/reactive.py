@@ -1,0 +1,158 @@
+"""Net-level reactive execution used by the baseline implementations.
+
+The QSS implementation is measured by executing its *generated code*
+(:mod:`repro.codegen.interpreter`).  The baselines — functional task
+partitioning and fully dynamic scheduling — are measured by executing
+the specification directly at the Petri-net level with the same cost
+model, plus the task/queue overheads their structure implies:
+
+* every time the locus of execution crosses from one task (module) to
+  another, a message is exchanged (queue send + receive) and the target
+  task is activated (RTOS overhead);
+* data-dependent choices are resolved by the per-event resolutions
+  supplied by the workload, exactly as for the generated code.
+
+The simulator processes one input event at a time: it fires the event's
+source transition and then keeps firing data-enabled transitions until
+the net quiesces, which mirrors a run-to-completion reactive execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..petrinet import Marking, PetriNet
+from .cost import CostModel
+from .events import Event
+from .rtos import ExecutionStats
+
+
+@dataclass
+class ModuleAssignment:
+    """Assignment of every transition to a module (task) name."""
+
+    modules: Mapping[str, str]
+
+    def module_of(self, transition: str) -> str:
+        return self.modules[transition]
+
+    @classmethod
+    def single_task(cls, net: PetriNet, name: str = "main") -> "ModuleAssignment":
+        return cls(modules={t: name for t in net.transition_names})
+
+    @classmethod
+    def one_task_per_transition(cls, net: PetriNet) -> "ModuleAssignment":
+        return cls(modules={t: f"task_{t}" for t in net.transition_names})
+
+    @classmethod
+    def from_groups(cls, groups: Mapping[str, Sequence[str]]) -> "ModuleAssignment":
+        mapping: Dict[str, str] = {}
+        for module, transitions in groups.items():
+            for transition in transitions:
+                mapping[transition] = module
+        return cls(modules=mapping)
+
+    @property
+    def module_names(self) -> List[str]:
+        return sorted(set(self.modules.values()))
+
+
+class ReactiveNetSimulator:
+    """Executes the net event-by-event with task/queue accounting.
+
+    Parameters
+    ----------
+    net:
+        The specification.
+    assignment:
+        Which task each transition belongs to; crossing tasks costs queue
+        traffic plus an activation of the target task.
+    cost_model:
+        The shared cycle cost model.
+    max_firings_per_event:
+        Safety bound against runaway event processing (an unschedulable
+        specification could otherwise loop forever).
+    """
+
+    def __init__(
+        self,
+        net: PetriNet,
+        assignment: ModuleAssignment,
+        cost_model: Optional[CostModel] = None,
+        max_firings_per_event: int = 100_000,
+    ) -> None:
+        self.net = net
+        self.assignment = assignment
+        self.cost = cost_model or CostModel()
+        self.max_firings_per_event = max_firings_per_event
+        self.marking = net.initial_marking
+        self._choice_places = set(net.choice_places())
+
+    def reset(self) -> None:
+        self.marking = self.net.initial_marking
+
+    # -- event processing ----------------------------------------------------
+    def _data_enabled(self, choices: Mapping[str, str]) -> List[str]:
+        """Transitions enabled by both tokens and the event's data.
+
+        A successor of a choice place is only data-enabled when the
+        event's resolution selects it; all other transitions follow plain
+        token-game enabling.
+        """
+        enabled = []
+        for transition in self.net.enabled_transitions(self.marking):
+            selected = True
+            for place in self.net.preset_names(transition):
+                if place in self._choice_places:
+                    chosen = choices.get(place)
+                    if chosen is not None and chosen != transition:
+                        selected = False
+                        break
+            if selected:
+                enabled.append(transition)
+        return enabled
+
+    def process_event(self, event: Event, stats: ExecutionStats) -> None:
+        """Fire the event's source and run the net to quiescence."""
+        stats.events_processed += 1
+        source = event.source
+        current_task = self.assignment.module_of(source)
+        stats.record_activation(current_task, self.cost.activation_cycles)
+        self._fire(source, stats)
+        firings = 1
+        while True:
+            candidates = self._data_enabled(event.choices)
+            # never re-fire source transitions spontaneously: they are
+            # driven by the environment, one firing per event.
+            candidates = [c for c in candidates if self.net.preset(c)]
+            if not candidates:
+                break
+            transition = candidates[0]
+            task = self.assignment.module_of(transition)
+            if task != current_task:
+                # inter-task message: send + receive + activation of target
+                stats.record_queue(2 * self.cost.queue_op_cycles)
+                stats.record_activation(task, self.cost.activation_cycles)
+                current_task = task
+            self._fire(transition, stats)
+            firings += 1
+            if firings > self.max_firings_per_event:
+                raise RuntimeError(
+                    "event processing did not quiesce; the specification is "
+                    "probably not schedulable"
+                )
+
+    def _fire(self, transition: str, stats: ExecutionStats) -> None:
+        self.marking = self.net.fire(transition, self.marking)
+        cost = self.net.transition(transition).cost * self.cost.transition_cycles
+        # every transition pays a dispatch test, mirroring the generated
+        # code's control tests
+        cost += self.cost.test_cycles
+        stats.record_body(cost, [transition])
+
+    def run(self, events: Sequence[Event]) -> ExecutionStats:
+        stats = ExecutionStats()
+        for event in sorted(events, key=lambda e: e.time):
+            self.process_event(event, stats)
+        return stats

@@ -1,0 +1,121 @@
+"""A minimal Real-Time Operating System model.
+
+The paper's synthesized tasks "are invoked at run-time by the RTOS either
+by interrupt or polling"; the RTOS itself is out of the paper's scope but
+its activation overhead is what makes implementations with more tasks
+slower and larger (Table I).  This module provides that executive: tasks
+are registered against the input events that trigger them, events are
+dispatched in time order, and every activation is charged the cost
+model's activation overhead on top of the cycles reported by the task
+body itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from typing import TYPE_CHECKING
+
+from .cost import CostModel
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from ..codegen.ir import Program
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate statistics of a simulated run.
+
+    Attributes
+    ----------
+    total_cycles:
+        Total clock cycles, including task bodies and all overheads.
+    activation_cycles / body_cycles / queue_cycles:
+        Breakdown of the total into RTOS activation overhead, task body
+        work, and inter-task queue traffic.
+    activations:
+        Number of activations per task.
+    firings:
+        Number of firings per transition across the whole run.
+    events_processed:
+        Number of input events dispatched.
+    """
+
+    total_cycles: int = 0
+    activation_cycles: int = 0
+    body_cycles: int = 0
+    queue_cycles: int = 0
+    activations: Dict[str, int] = field(default_factory=dict)
+    firings: Dict[str, int] = field(default_factory=dict)
+    events_processed: int = 0
+
+    def record_activation(self, task: str, overhead: int) -> None:
+        self.activations[task] = self.activations.get(task, 0) + 1
+        self.activation_cycles += overhead
+        self.total_cycles += overhead
+
+    def record_body(self, cycles: int, fired: Iterable[str]) -> None:
+        self.body_cycles += cycles
+        self.total_cycles += cycles
+        for transition in fired:
+            self.firings[transition] = self.firings.get(transition, 0) + 1
+
+    def record_queue(self, cycles: int) -> None:
+        self.queue_cycles += cycles
+        self.total_cycles += cycles
+
+    @property
+    def total_activations(self) -> int:
+        return sum(self.activations.values())
+
+    def describe(self) -> str:
+        lines = [
+            f"events processed : {self.events_processed}",
+            f"total cycles     : {self.total_cycles}",
+            f"  task bodies    : {self.body_cycles}",
+            f"  activations    : {self.activation_cycles} "
+            f"({self.total_activations} activations)",
+            f"  queue traffic  : {self.queue_cycles}",
+        ]
+        for task, count in sorted(self.activations.items()):
+            lines.append(f"  activations[{task}] = {count}")
+        return "\n".join(lines)
+
+
+class RTOS:
+    """Event-driven executive for a quasi-statically scheduled program.
+
+    Each task of the program is triggered by its source transitions; the
+    executive dispatches the merged event stream in time order, charging
+    one activation per event plus the cycles reported by the task body.
+    """
+
+    def __init__(
+        self, program: "Program", cost_model: Optional[CostModel] = None
+    ) -> None:
+        # imported here to keep repro.runtime importable without pulling in
+        # repro.codegen (which itself depends on repro.runtime.cost)
+        from ..codegen.interpreter import ProgramExecutor
+
+        self.cost = cost_model or CostModel()
+        self.executor = ProgramExecutor(program, self.cost)
+        self.program = program
+
+    def reset(self) -> None:
+        self.executor.reset()
+
+    def run(self, events: Sequence[Event]) -> ExecutionStats:
+        """Dispatch ``events`` (already time-ordered or not) and return stats."""
+        from ..codegen.interpreter import make_resolver
+
+        stats = ExecutionStats()
+        for event in sorted(events, key=lambda e: e.time):
+            stats.events_processed += 1
+            task_executor = self.executor.task_for_source(event.source)
+            stats.record_activation(task_executor.task.name, self.cost.activation_cycles)
+            resolver = make_resolver(dict(event.choices))
+            result = task_executor.activate(resolver)
+            stats.record_body(result.cycles, result.fired)
+        return stats

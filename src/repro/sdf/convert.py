@@ -1,0 +1,75 @@
+"""Conversions between SDF graphs and (marked-graph) Petri nets.
+
+Section 2 of the paper: "Synchronous Dataflow networks are a special
+case of Petri Nets, since they can be mapped into Marked Graphs where
+actors are transitions and arcs places."  The forward conversion realizes
+exactly that mapping; the reverse conversion recovers an SDF graph from
+any marked-graph Petri net, which is how the QSS machinery reuses the
+SDF scheduling theory on its conflict-free components.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..petrinet import PetriNet
+from ..petrinet.structure import is_marked_graph
+from .graph import SDFError, SDFGraph
+
+
+def sdf_to_petri(graph: SDFGraph, name: Optional[str] = None) -> PetriNet:
+    """Convert an SDF graph to a marked-graph Petri net.
+
+    Each actor becomes a transition, each channel becomes a place whose
+    input arc weight is the channel's production rate, output arc weight
+    its consumption rate, and initial marking its delay tokens.
+    """
+    net = PetriNet(name=name or graph.name)
+    for actor in graph.actors:
+        net.add_transition(actor.name, label=actor.label, cost=actor.cost)
+    for index, edge in enumerate(graph.edges):
+        place = f"ch_{index}_{edge.source}_{edge.target}"
+        net.add_place(place, tokens=edge.initial_tokens, label=edge.channel_name)
+        net.add_arc(edge.source, place, weight=edge.production)
+        net.add_arc(place, edge.target, weight=edge.consumption)
+    return net
+
+
+def petri_to_sdf(net: PetriNet, name: Optional[str] = None) -> SDFGraph:
+    """Convert a marked-graph Petri net back into an SDF graph.
+
+    Raises
+    ------
+    SDFError
+        If the net is not a marked graph (some place has more than one
+        producer or consumer) — such a net has conflicts and cannot be
+        represented as a plain SDF graph.
+    """
+    if not is_marked_graph(net):
+        raise SDFError(
+            f"net {net.name!r} is not a marked graph; only marked graphs "
+            "map onto SDF graphs"
+        )
+    graph = SDFGraph(name=name or net.name)
+    for transition in net.transitions:
+        graph.add_actor(transition.name, cost=transition.cost, label=transition.label)
+    initial = net.initial_marking
+    for place in net.places:
+        producers = net.preset(place.name)
+        consumers = net.postset(place.name)
+        if not producers or not consumers:
+            # dangling places (pure sources/sinks of the environment) have
+            # no SDF counterpart; they do not constrain the schedule of a
+            # marked graph, so they are dropped with their tokens.
+            continue
+        (producer, production), = producers.items()
+        (consumer, consumption), = consumers.items()
+        graph.add_edge(
+            producer,
+            consumer,
+            production=production,
+            consumption=consumption,
+            initial_tokens=initial[place.name],
+            name=place.label or place.name,
+        )
+    return graph

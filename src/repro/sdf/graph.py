@@ -1,0 +1,167 @@
+"""Synchronous Dataflow (SDF) graph model.
+
+SDF graphs (Lee & Messerschmitt 1987) are the fully static special case
+that quasi-static scheduling generalizes: actors fire with fixed token
+production/consumption rates, so a periodic schedule can be computed
+entirely at compile time.  The paper observes that SDF graphs are Petri
+nets — they map onto marked graphs (Section 2); :mod:`repro.sdf.convert`
+implements that mapping in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class SDFError(Exception):
+    """Base error for the SDF subsystem."""
+
+
+@dataclass(frozen=True)
+class Actor:
+    """An SDF actor (a computation fired atomically).
+
+    ``cost`` is the abstract execution cost charged by the runtime cost
+    model, mirroring :class:`~repro.petrinet.net.Transition`.
+    """
+
+    name: str
+    cost: int = 1
+    label: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed FIFO channel between two actors.
+
+    Attributes
+    ----------
+    source / target:
+        Producer and consumer actor names.
+    production / consumption:
+        Tokens produced per source firing / consumed per target firing.
+    initial_tokens:
+        Delay tokens present on the channel before the first iteration.
+    name:
+        Optional explicit channel name (defaults to ``source->target``).
+    """
+
+    source: str
+    target: str
+    production: int = 1
+    consumption: int = 1
+    initial_tokens: int = 0
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.production <= 0 or self.consumption <= 0:
+            raise SDFError(
+                f"edge {self.source}->{self.target}: rates must be positive"
+            )
+        if self.initial_tokens < 0:
+            raise SDFError(
+                f"edge {self.source}->{self.target}: negative initial tokens"
+            )
+
+    @property
+    def channel_name(self) -> str:
+        return self.name or f"{self.source}->{self.target}"
+
+
+class SDFGraph:
+    """A synchronous dataflow graph."""
+
+    def __init__(self, name: str = "sdf") -> None:
+        self.name = name
+        self._actors: Dict[str, Actor] = {}
+        self._edges: List[Edge] = []
+
+    # -- construction -----------------------------------------------------
+    def add_actor(self, name: str, cost: int = 1, label: Optional[str] = None) -> Actor:
+        if name in self._actors:
+            raise SDFError(f"actor {name!r} already exists")
+        actor = Actor(name=name, cost=cost, label=label)
+        self._actors[name] = actor
+        return actor
+
+    def add_edge(
+        self,
+        source: str,
+        target: str,
+        production: int = 1,
+        consumption: int = 1,
+        initial_tokens: int = 0,
+        name: Optional[str] = None,
+    ) -> Edge:
+        for endpoint in (source, target):
+            if endpoint not in self._actors:
+                raise SDFError(f"unknown actor {endpoint!r}")
+        edge = Edge(
+            source=source,
+            target=target,
+            production=production,
+            consumption=consumption,
+            initial_tokens=initial_tokens,
+            name=name,
+        )
+        self._edges.append(edge)
+        return edge
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def actors(self) -> List[Actor]:
+        return list(self._actors.values())
+
+    @property
+    def actor_names(self) -> List[str]:
+        return list(self._actors.keys())
+
+    @property
+    def edges(self) -> List[Edge]:
+        return list(self._edges)
+
+    def actor(self, name: str) -> Actor:
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise SDFError(f"unknown actor {name!r}") from None
+
+    def in_edges(self, actor: str) -> List[Edge]:
+        return [e for e in self._edges if e.target == actor]
+
+    def out_edges(self, actor: str) -> List[Edge]:
+        return [e for e in self._edges if e.source == actor]
+
+    def sources(self) -> List[str]:
+        """Actors with no incoming edges."""
+        return [a for a in self._actors if not self.in_edges(a)]
+
+    def sinks(self) -> List[str]:
+        """Actors with no outgoing edges."""
+        return [a for a in self._actors if not self.out_edges(a)]
+
+    def is_connected(self) -> bool:
+        """True if the underlying undirected graph is connected."""
+        if not self._actors:
+            return True
+        names = list(self._actors)
+        adjacency: Dict[str, List[str]] = {a: [] for a in names}
+        for edge in self._edges:
+            adjacency[edge.source].append(edge.target)
+            adjacency[edge.target].append(edge.source)
+        seen = set()
+        stack = [names[0]]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(n for n in adjacency[node] if n not in seen)
+        return len(seen) == len(names)
+
+    def __repr__(self) -> str:
+        return (
+            f"SDFGraph(name={self.name!r}, actors={len(self._actors)}, "
+            f"edges={len(self._edges)})"
+        )

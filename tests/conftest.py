@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.atm import build_atm_server_net, make_testbench
+from repro.gallery import (
+    figure2_sdf_chain,
+    figure3a_schedulable,
+    figure3b_unschedulable,
+    figure4_weighted,
+    figure5_two_inputs,
+    figure7_unschedulable,
+)
+from repro.qss import analyse
+
+
+@pytest.fixture
+def fig2():
+    return figure2_sdf_chain()
+
+
+@pytest.fixture
+def fig3a():
+    return figure3a_schedulable()
+
+
+@pytest.fixture
+def fig3b():
+    return figure3b_unschedulable()
+
+
+@pytest.fixture
+def fig4():
+    return figure4_weighted()
+
+
+@pytest.fixture
+def fig5():
+    return figure5_two_inputs()
+
+
+@pytest.fixture
+def fig7():
+    return figure7_unschedulable()
+
+
+@pytest.fixture(scope="session")
+def atm_net():
+    return build_atm_server_net()
+
+
+@pytest.fixture(scope="session")
+def atm_report(atm_net):
+    """Full QSS analysis of the ATM server (expensive, shared per session)."""
+    return analyse(atm_net)
+
+
+@pytest.fixture(scope="session")
+def atm_events_small():
+    """A small ATM testbench (10 cells) for execution tests."""
+    return make_testbench(cells=10, seed=7)

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.gallery import figure3a_schedulable, figure7_unschedulable
+from repro.petrinet import save_net
+
+
+@pytest.fixture
+def fig3a_file(tmp_path):
+    path = tmp_path / "fig3a.json"
+    save_net(figure3a_schedulable(), path)
+    return str(path)
+
+
+@pytest.fixture
+def fig7_file(tmp_path):
+    path = tmp_path / "fig7.json"
+    save_net(figure7_unschedulable(), path)
+    return str(path)
+
+
+class TestInfoAndAnalyse:
+    def test_info(self, fig3a_file, capsys):
+        assert main(["info", fig3a_file]) == 0
+        out = capsys.readouterr().out
+        assert "free-choice" in out
+        assert "p1" in out
+
+    def test_analyse_schedulable_exit_zero(self, fig3a_file, capsys):
+        assert main(["analyse", fig3a_file, "--show-schedule"]) == 0
+        out = capsys.readouterr().out
+        assert "schedulable" in out
+        assert "finite complete cycle" in out
+        assert "task_t1" in out
+
+    def test_analyse_unschedulable_exit_one(self, fig7_file, capsys):
+        assert main(["analyse", fig7_file]) == 1
+        assert "NOT quasi-statically schedulable" in capsys.readouterr().out
+
+    def test_missing_file_is_error(self):
+        with pytest.raises(SystemExit):
+            main(["info", "/nonexistent/net.json"])
+
+
+class TestSynthesizeAndDot:
+    def test_synthesize_to_file(self, fig3a_file, tmp_path, capsys):
+        out_file = tmp_path / "out.c"
+        assert main(["synthesize", fig3a_file, "-o", str(out_file)]) == 0
+        source = out_file.read_text()
+        assert "void task_t1(void)" in source
+        assert "choice_p1()" in source
+        assert "lines of C" in capsys.readouterr().err
+
+    def test_synthesize_unschedulable_fails(self, fig7_file, capsys):
+        assert main(["synthesize", fig7_file]) == 1
+
+    def test_synthesize_standalone_loop(self, fig3a_file, capsys):
+        assert main(["synthesize", fig3a_file, "--standalone-loop"]) == 0
+        assert "while (1) {" in capsys.readouterr().out
+
+    def test_dot_output(self, fig3a_file, tmp_path):
+        out_file = tmp_path / "net.dot"
+        assert main(["dot", fig3a_file, "-o", str(out_file), "--title", "Fig 3a"]) == 0
+        text = out_file.read_text()
+        assert text.startswith("digraph")
+        assert "Fig 3a" in text
+
+
+class TestGalleryAndTable:
+    def test_gallery_list(self, capsys):
+        assert main(["gallery", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure4" in out and "figure7" in out
+
+    def test_gallery_unknown_is_usage_error(self, capsys):
+        assert main(["gallery", "figure99"]) == 2
+
+    def test_gallery_dump_to_stdout_is_json(self, capsys):
+        assert main(["gallery", "figure4"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "figure4"
+
+    def test_gallery_dump_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "fig4.json"
+        assert main(["gallery", "figure4", "-o", str(out_file)]) == 0
+        assert json.loads(out_file.read_text())["name"] == "figure4"
+
+    def test_atm_table1_small(self, capsys):
+        assert main(["atm-table1", "--cells", "5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Number of tasks" in out
+        assert "clock-cycle ratio" in out

@@ -1,0 +1,146 @@
+"""Integration tests pinning every quantitative claim quoted from the paper.
+
+Each test cites the statement in the paper it checks, so a failure points
+directly at the part of the reproduction that diverged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gallery import paper_figures
+from repro.petrinet import (
+    Marking,
+    coverability_analysis,
+    is_free_choice,
+    is_marked_graph,
+    t_invariants,
+)
+from repro.qss import TAllocation, analyse, enumerate_allocations, reduce_net
+
+
+class TestFigure1:
+    def test_1a_is_free_choice_1b_is_not(self):
+        """Section 2: Figure 1a is a Free Choice net, Figure 1b is not
+        because a marking enables t3 but not t2."""
+        figures = paper_figures()
+        net_a = figures["figure1a"]()
+        net_b = figures["figure1b"]()
+        assert is_free_choice(net_a)
+        assert not is_free_choice(net_b)
+        marking = Marking({"p1": 1})
+        assert net_b.is_enabled("t3", marking)
+        assert not net_b.is_enabled("t2", marking)
+
+
+class TestFigure2:
+    def test_repetition_vector_and_cycle(self):
+        """Section 2 / Figure 2: f(sigma) = (4, 2, 1) and the cyclic
+        schedule t1 t1 t1 t1 t2 t2 t3 returns the net to (0, 0)."""
+        net = paper_figures()["figure2"]()
+        assert is_marked_graph(net)
+        assert t_invariants(net) == [{"t1": 4, "t2": 2, "t3": 1}]
+        from repro.petrinet import is_finite_complete_cycle
+
+        assert is_finite_complete_cycle(
+            net, ["t1", "t1", "t1", "t1", "t2", "t2", "t3"]
+        )
+
+
+class TestFigure3:
+    def test_3a_valid_schedule(self):
+        """Section 3: S = {(t1 t2 t4), (t1 t3 t5)} is a valid schedule."""
+        report = analyse(paper_figures()["figure3a"]())
+        sequences = {cycle.sequence for cycle in report.schedule.cycles}
+        assert sequences == {("t1", "t2", "t4"), ("t1", "t3", "t5")}
+
+    def test_3a_invariant_space(self):
+        """Figure 3 annotation: f(s) = a(1,1,0,1,0) + b(1,0,1,0,1)."""
+        invariants = t_invariants(paper_figures()["figure3a"]())
+        assert {"t1": 1, "t2": 1, "t4": 1} in invariants
+        assert {"t1": 1, "t3": 1, "t5": 1} in invariants
+
+    def test_3b_not_schedulable_and_unbounded(self):
+        """Section 3: always choosing t2 (t3) accumulates tokens without
+        bound in p2 (p3), so the net has no valid schedule."""
+        net = paper_figures()["figure3b"]()
+        report = analyse(net)
+        assert not report.schedulable
+        coverability = coverability_analysis(net)
+        assert not coverability.bounded
+        assert {"p2", "p3"} <= set(coverability.unbounded_places)
+
+
+class TestFigure4:
+    def test_schedule_counts(self):
+        """Section 3: S = {(t1 t2 t1 t2 t4), (t1 t3 t5 t5)} is valid."""
+        report = analyse(paper_figures()["figure4"]())
+        assert report.schedulable
+        counts = [cycle.counts for cycle in report.schedule.cycles]
+        assert {"t1": 2, "t2": 2, "t4": 1} in counts
+        assert {"t1": 1, "t3": 1, "t5": 2} in counts
+
+    def test_partial_sequence_leaves_token(self):
+        """Section 3 discussion: after t1 t2 t1 t3 t5 t5 one token remains in
+        p2 — bounded, so the net is still considered schedulable."""
+        net = paper_figures()["figure4"]()
+        from repro.petrinet import fire_sequence
+
+        marking = fire_sequence(net, ["t1", "t2", "t1", "t3", "t5", "t5"])
+        assert marking == Marking({"p2": 1})
+
+
+class TestFigure5:
+    def test_two_allocations(self):
+        """Section 3: there exist two T-allocations, A1 containing t2 and A2
+        containing t3."""
+        net = paper_figures()["figure5"]()
+        allocations = list(enumerate_allocations(net))
+        assert len(allocations) == 2
+        assert {a.chosen("p1") for a in allocations} == {"t2", "t3"}
+
+    def test_r1_invariants_match_paper(self):
+        """Section 3: the T-invariants of R1 are (1,1,0,2,0,4,0,0,0) and
+        (0,0,0,0,0,1,0,1,1)."""
+        net = paper_figures()["figure5"]()
+        r1 = reduce_net(net, TAllocation.from_mapping({"p1": "t2"}))
+        invariants = t_invariants(r1.net)
+        assert {"t1": 1, "t2": 1, "t4": 2, "t6": 4} in invariants
+        assert {"t6": 1, "t8": 1, "t9": 1} in invariants
+        assert len(invariants) == 2
+
+    def test_valid_schedule_counts_match_paper(self):
+        """Section 3: a valid set of finite complete cycles is
+        {(t1 t2 t4 t4 t6 t6 t6 t6 t8 t9 t6), (t1 t3 t5 t7 t7 t8 t9 t6)}."""
+        report = analyse(paper_figures()["figure5"]())
+        assert report.schedulable
+        counts = [cycle.counts for cycle in report.schedule.cycles]
+        assert {"t1": 1, "t2": 1, "t4": 2, "t6": 5, "t8": 1, "t9": 1} in counts
+        assert {
+            "t1": 1, "t3": 1, "t5": 1, "t7": 2, "t6": 1, "t8": 1, "t9": 1,
+        } in counts
+
+    def test_figure6_reduction_steps(self):
+        """Figure 6: obtaining R1 removes t3, p3, t5, p5, p6, t7 (in that
+        causal order) and keeps everything else."""
+        net = paper_figures()["figure5"]()
+        trace = []
+        reduction = reduce_net(net, TAllocation.from_mapping({"p1": "t2"}), trace=trace)
+        removed_order = [step.node for step in trace if step.action.startswith("remove")]
+        assert removed_order[0] == "t3"
+        assert set(removed_order) == {"t3", "p3", "t5", "p5", "p6", "t7"}
+        assert set(reduction.net.transition_names) == {"t1", "t2", "t4", "t6", "t8", "t9"}
+
+
+class TestFigure7:
+    def test_both_reductions_inconsistent(self):
+        """Section 3: both T-reductions are inconsistent because they contain
+        a source place; firing (t1 t2 t4 t6) forever would accumulate tokens
+        in p4 since p3 cannot provide infinitely many."""
+        net = paper_figures()["figure7"]()
+        report = analyse(net)
+        assert not report.schedulable
+        assert len(report.verdicts) == 2
+        for verdict in report.verdicts:
+            assert not verdict.consistent
+            assert verdict.source_places

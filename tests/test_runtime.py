@@ -1,0 +1,182 @@
+"""Unit tests for the runtime substrate: cost model, events, RTOS, reactive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import make_resolver, synthesize
+from repro.gallery import figure3a_schedulable, figure5_two_inputs
+from repro.qss import compute_valid_schedule
+from repro.runtime import (
+    ChoiceSampler,
+    CostModel,
+    Event,
+    ModuleAssignment,
+    ReactiveNetSimulator,
+    RTOS,
+    irregular_events,
+    merge_streams,
+    periodic_events,
+    with_choices,
+)
+
+
+class TestCostModel:
+    def test_defaults_are_positive(self):
+        model = CostModel()
+        assert model.transition_cycles > 0
+        assert model.activation_cycles > model.test_cycles
+
+    def test_with_activation_and_queue(self):
+        model = CostModel()
+        assert model.with_activation(999).activation_cycles == 999
+        assert model.with_queue_cost(7).queue_op_cycles == 7
+        # original is unchanged (frozen dataclass semantics)
+        assert model.activation_cycles != 999
+
+
+class TestEvents:
+    def test_periodic_events(self):
+        events = periodic_events("tick", period=2.0, count=3)
+        assert [e.time for e in events] == [0.0, 2.0, 4.0]
+        assert all(e.source == "tick" for e in events)
+
+    def test_periodic_validation(self):
+        with pytest.raises(ValueError):
+            periodic_events("tick", period=0, count=1)
+
+    def test_irregular_events_reproducible_and_sorted(self):
+        a = irregular_events("cell", mean_interval=1.0, count=10, seed=5)
+        b = irregular_events("cell", mean_interval=1.0, count=10, seed=5)
+        assert [e.time for e in a] == [e.time for e in b]
+        assert [e.time for e in a] == sorted(e.time for e in a)
+
+    def test_irregular_validation(self):
+        with pytest.raises(ValueError):
+            irregular_events("cell", mean_interval=0, count=1)
+
+    def test_merge_streams_sorted(self):
+        merged = merge_streams(
+            periodic_events("a", 3.0, 3), periodic_events("b", 2.0, 3)
+        )
+        assert [e.time for e in merged] == sorted(e.time for e in merged)
+        assert len(merged) == 6
+
+    def test_choice_sampler_respects_per_source(self):
+        sampler = ChoiceSampler(
+            {"p1": {"x": 1.0}, "p2": {"y": 1.0}},
+            per_source={"s1": ["p1"], "s2": ["p2"]},
+        )
+        assert sampler.sample("s1") == {"p1": "x"}
+        assert sampler.sample("s2") == {"p2": "y"}
+
+    def test_choice_sampler_distribution_roughly_matches(self):
+        sampler = ChoiceSampler({"p": {"a": 0.8, "b": 0.2}}, seed=1)
+        draws = [sampler.sample()["p"] for _ in range(500)]
+        share_a = draws.count("a") / len(draws)
+        assert 0.7 < share_a < 0.9
+
+    def test_with_choices_attaches_resolutions(self):
+        sampler = ChoiceSampler({"p1": {"x": 1.0}})
+        events = with_choices(periodic_events("s", 1.0, 2), sampler)
+        assert all(e.choices == {"p1": "x"} for e in events)
+
+
+class TestRTOS:
+    def test_rtos_charges_activation_per_event(self, fig3a):
+        program = synthesize(compute_valid_schedule(fig3a))
+        model = CostModel(activation_cycles=500)
+        rtos = RTOS(program, model)
+        events = [
+            Event(time=0.0, source="t1", choices={"p1": "t2"}),
+            Event(time=1.0, source="t1", choices={"p1": "t3"}),
+        ]
+        stats = rtos.run(events)
+        assert stats.events_processed == 2
+        assert stats.activation_cycles == 1000
+        assert stats.total_cycles == stats.activation_cycles + stats.body_cycles
+        assert stats.firings["t1"] == 2
+        assert stats.firings["t4"] == 1
+        assert stats.firings["t5"] == 1
+
+    def test_rtos_orders_events_by_time(self, fig5):
+        program = synthesize(compute_valid_schedule(fig5))
+        rtos = RTOS(program)
+        events = [
+            Event(time=5.0, source="t1", choices={"p1": "t2"}),
+            Event(time=1.0, source="t8"),
+        ]
+        stats = rtos.run(events)
+        assert stats.activations["task_t8"] == 1
+        assert stats.activations["task_t1"] == 1
+
+    def test_stats_describe(self, fig3a):
+        program = synthesize(compute_valid_schedule(fig3a))
+        stats = RTOS(program).run([Event(time=0, source="t1", choices={"p1": "t2"})])
+        text = stats.describe()
+        assert "total cycles" in text
+        assert "task_t1" in text
+
+    def test_rtos_reset(self, fig3a):
+        program = synthesize(compute_valid_schedule(fig3a))
+        rtos = RTOS(program)
+        rtos.run([Event(time=0, source="t1", choices={"p1": "t2"})])
+        rtos.reset()  # should not raise and counters go back to zero
+        assert all(
+            executor.counters == executor.task.counters
+            for executor in rtos.executor.tasks.values()
+        )
+
+
+class TestReactiveSimulator:
+    def test_single_task_has_no_queue_traffic(self, fig3a):
+        assignment = ModuleAssignment.single_task(fig3a)
+        simulator = ReactiveNetSimulator(fig3a, assignment)
+        stats = simulator.run([Event(time=0, source="t1", choices={"p1": "t2"})])
+        assert stats.queue_cycles == 0
+        assert stats.total_activations == 1
+        assert stats.firings == {"t1": 1, "t2": 1, "t4": 1}
+
+    def test_split_tasks_pay_queue_and_activation(self, fig3a):
+        assignment = ModuleAssignment.from_groups(
+            {"front": ["t1", "t2", "t3"], "back": ["t4", "t5"]}
+        )
+        simulator = ReactiveNetSimulator(fig3a, assignment)
+        stats = simulator.run([Event(time=0, source="t1", choices={"p1": "t2"})])
+        assert stats.queue_cycles > 0
+        assert stats.total_activations == 2
+
+    def test_one_task_per_transition_is_most_expensive(self, fig3a):
+        event = [Event(time=0, source="t1", choices={"p1": "t2"})]
+        single = ReactiveNetSimulator(
+            fig3a, ModuleAssignment.single_task(fig3a)
+        ).run(event)
+        dynamic = ReactiveNetSimulator(
+            fig3a, ModuleAssignment.one_task_per_transition(fig3a)
+        ).run(event)
+        assert dynamic.total_cycles > single.total_cycles
+
+    def test_choice_resolution_respected(self, fig3a):
+        assignment = ModuleAssignment.single_task(fig3a)
+        simulator = ReactiveNetSimulator(fig3a, assignment)
+        stats = simulator.run([Event(time=0, source="t1", choices={"p1": "t3"})])
+        assert "t5" in stats.firings
+        assert "t2" not in stats.firings
+
+    def test_marking_persists_between_events(self, fig5):
+        assignment = ModuleAssignment.single_task(fig5)
+        simulator = ReactiveNetSimulator(fig5, assignment)
+        simulator.run([Event(time=0, source="t1", choices={"p1": "t2"})])
+        # one firing of t2 leaves two tokens in p2; t4 fired twice? p2 gets 2
+        # tokens, t4 consumes 1 each, so the marking is back to empty except
+        # for p4 which t6 drains; just check no negative tokens and reset works
+        assert all(v >= 0 for v in simulator.marking.tokens.values())
+        simulator.reset()
+        assert simulator.marking == fig5.initial_marking
+
+    def test_module_assignment_module_names(self, fig3a):
+        assignment = ModuleAssignment.from_groups(
+            {"a": ["t1"], "b": ["t2", "t3", "t4", "t5"]}
+        )
+        assert assignment.module_names == ["a", "b"]
+        assert assignment.module_of("t3") == "b"
