@@ -21,7 +21,7 @@ from ..baselines.functional_partitioning import (
 from ..codegen.emit_c import EmitOptions, emit_c
 from ..codegen.generator import CodegenOptions, synthesize
 from ..codegen.ir import Program
-from ..petrinet import PetriNet
+from ..petrinet import ENGINE_COMPILED, PetriNet
 from ..qss.scheduler import compute_valid_schedule
 from ..qss.schedule import ValidSchedule
 from ..runtime.cost import CostModel
@@ -94,6 +94,7 @@ def qss_metrics(
     schedule: Optional[ValidSchedule] = None,
     rate_groups: Optional[Sequence[Sequence[str]]] = None,
     name: str = "QSS",
+    engine: str = ENGINE_COMPILED,
 ) -> Tuple[ImplementationMetrics, Program]:
     """Synthesize the QSS implementation of ``net`` and measure it.
 
@@ -101,7 +102,7 @@ def qss_metrics(
     can also inspect or emit the C source).
     """
     if schedule is None:
-        schedule = compute_valid_schedule(net)
+        schedule = compute_valid_schedule(net, engine=engine)
     program = synthesize(schedule, rate_groups=rate_groups)
     emission = emit_c(
         program, EmitOptions(boilerplate_lines_per_task=TASK_BOILERPLATE_LINES)
@@ -145,10 +146,11 @@ def build_comparison(
     events: Sequence[Event],
     cost_model: Optional[CostModel] = None,
     title: str = "Table I",
+    engine: str = ENGINE_COMPILED,
 ) -> ComparisonTable:
     """Build the full Table I comparison for ``net``."""
     table = ComparisonTable(title=title)
-    qss_row, _ = qss_metrics(net, events, cost_model)
+    qss_row, _ = qss_metrics(net, events, cost_model, engine=engine)
     table.rows.append(qss_row)
     table.rows.append(functional_metrics(net, modules, events, cost_model))
     return table

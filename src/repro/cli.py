@@ -16,6 +16,12 @@ writing Python:
 Every subcommand returns a process exit code of 0 on success, 1 when the
 analysis reports a negative result (e.g. the net is not schedulable) and
 2 on usage errors, so the tool composes with shell scripts and CI jobs.
+
+Analysis subcommands accept ``--engine {compiled,legacy}`` (default
+``compiled``): ``compiled`` runs on the integer-indexed
+:class:`~repro.petrinet.compiled.CompiledNet` core, ``legacy`` on the
+original dict-based token game.  Both produce identical results; the
+flag exists so either path can be exercised (and timed) from the shell.
 """
 
 from __future__ import annotations
@@ -29,7 +35,15 @@ from .analysis import build_comparison
 from .apps.atm import MODULE_PARTITION, build_atm_server_net, make_testbench
 from .codegen import EmitOptions, emit_c, synthesize
 from .gallery import paper_figures
-from .petrinet import classify, is_free_choice, load_net, net_to_dot, save_net
+from .petrinet import (
+    ENGINE_COMPILED,
+    ENGINES,
+    classify,
+    is_free_choice,
+    load_net,
+    net_to_dot,
+    save_net,
+)
 from .petrinet.exceptions import PetriNetError
 from .qss import analyse, partition_tasks
 
@@ -60,7 +74,7 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 def cmd_analyse(args: argparse.Namespace) -> int:
     net = _load(args.net)
-    report = analyse(net)
+    report = analyse(net, engine=args.engine)
     print(report.explain())
     if report.schedulable and report.schedule is not None:
         if args.show_schedule:
@@ -72,7 +86,7 @@ def cmd_analyse(args: argparse.Namespace) -> int:
 
 def cmd_synthesize(args: argparse.Namespace) -> int:
     net = _load(args.net)
-    report = analyse(net)
+    report = analyse(net, engine=args.engine)
     if not report.schedulable or report.schedule is None:
         print(report.explain(), file=sys.stderr)
         return 1
@@ -101,6 +115,20 @@ def cmd_gallery(args: argparse.Namespace) -> int:
         print("available figures:", ", ".join(sorted(figures)))
         return 0 if args.figure == "list" else 2
     net = figures[args.figure]()
+    if args.analyse:
+        if args.output:
+            print(
+                "error: --analyse does not write a net; drop -o/--output",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            report = analyse(net, engine=args.engine)
+        except PetriNetError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(report.explain())
+        return 0 if report.schedulable else 1
     if args.output:
         save_net(net, args.output)
         print(f"wrote {args.figure} to {args.output}")
@@ -114,11 +142,27 @@ def cmd_gallery(args: argparse.Namespace) -> int:
 def cmd_atm_table1(args: argparse.Namespace) -> int:
     net = build_atm_server_net()
     events = make_testbench(cells=args.cells, seed=args.seed)
-    table = build_comparison(net, MODULE_PARTITION, events, title="Table I (reproduced)")
+    table = build_comparison(
+        net,
+        MODULE_PARTITION,
+        events,
+        title="Table I (reproduced)",
+        engine=args.engine,
+    )
     print(table.render())
     ratio = table.ratio("clock_cycles", "QSS", "Functional task partitioning")
     print(f"functional / QSS clock-cycle ratio: {ratio:.3f}")
     return 0
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=ENGINE_COMPILED,
+        help="execution core: the integer-indexed compiled engine "
+        "(default) or the legacy dict-based token game",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -137,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyse.add_argument(
         "--show-schedule", action="store_true", help="print every finite complete cycle"
     )
+    _add_engine_flag(p_analyse)
     p_analyse.set_defaults(func=cmd_analyse)
 
     p_synth = sub.add_parser("synthesize", help="generate the C implementation")
@@ -147,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="wrap each task in while(1) (the paper's listing style)",
     )
+    _add_engine_flag(p_synth)
     p_synth.set_defaults(func=cmd_synthesize)
 
     p_dot = sub.add_parser("dot", help="export the net as Graphviz DOT")
@@ -158,11 +204,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_gallery = sub.add_parser("gallery", help="dump one of the paper's figure nets")
     p_gallery.add_argument("figure", help="figure id (or 'list')")
     p_gallery.add_argument("-o", "--output", help="write JSON to this file")
+    p_gallery.add_argument(
+        "--analyse",
+        action="store_true",
+        help="run the QSS analysis on the figure instead of dumping it",
+    )
+    _add_engine_flag(p_gallery)
     p_gallery.set_defaults(func=cmd_gallery)
 
     p_table1 = sub.add_parser("atm-table1", help="reproduce Table I on the ATM server")
     p_table1.add_argument("--cells", type=int, default=50)
     p_table1.add_argument("--seed", type=int, default=2026)
+    _add_engine_flag(p_table1)
     p_table1.set_defaults(func=cmd_atm_table1)
 
     return parser

@@ -14,6 +14,15 @@ variables persist across activations (they are the statically allocated
 buffers of the implementation).  Data-dependent choices are resolved by
 a caller-provided resolver (the workload generator supplies one per
 event).
+
+The executor interprets schedules over *compiled markings*: at
+construction every counting variable is mapped to a dense integer index
+and the IR is lowered once into tuples of integer-indexed operations
+(with the cost model baked in), so the per-activation inner loop runs on
+a flat list of ints instead of string-keyed dicts — the same
+representation shift as :class:`repro.petrinet.compiled.CompiledNet` for
+the analysis side.  The public, name-keyed ``counters`` view is
+preserved for diagnostics and tests.
 """
 
 from __future__ import annotations
@@ -55,19 +64,70 @@ class ActivationResult:
     choices_taken: Dict[str, str] = field(default_factory=dict)
 
 
+# Lowered opcodes: the IR is compiled once per executor into nested
+# tuples of these, with counter names replaced by dense integer indices
+# and per-statement cycle costs precomputed from the cost model.
+_OP_FIRE = 0
+_OP_INC = 1
+_OP_DEC = 2
+_OP_IF = 3
+_OP_WHILE = 4
+_OP_CHOICE = 5
+_OP_CALL = 6
+
+
 class TaskExecutor:
-    """Executes activations of a single task, keeping its counter state."""
+    """Executes activations of a single task, keeping its counter state.
+
+    The counting variables are held as a flat list of ints indexed by a
+    dense place id (the task's compiled marking); the name-keyed
+    :attr:`counters` view is rebuilt on demand.
+    """
 
     def __init__(self, task: TaskProgram, cost_model: Optional[CostModel] = None) -> None:
         self.task = task
         self.cost = cost_model or CostModel()
-        self.counters: Dict[str, int] = dict(task.counters)
         #: guards against runaway recursion caused by malformed fragments
         self._max_depth = 10_000
+        # dense index over the task's counting variables (declared
+        # counters first, then any place only referenced by statements)
+        self._place_ids: Dict[str, int] = {
+            place: i for i, place in enumerate(task.counters)
+        }
+        self._code: Dict[str, Tuple] = {
+            name: self._compile_block(fragment.body)
+            for name, fragment in task.fragments.items()
+        }
+        self._initial: List[int] = [0] * len(self._place_ids)
+        for place, value in task.counters.items():
+            self._initial[self._place_ids[place]] = value
+        self._values: List[int] = list(self._initial)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Name-keyed snapshot of the counting variables.
+
+        Contains every declared counter plus any statement-only counter
+        that currently holds tokens.  The returned dict is a copy;
+        assign to the property (or call :meth:`reset`) to change the
+        executor's state.
+        """
+        declared = self.task.counters
+        return {
+            place: self._values[index]
+            for place, index in self._place_ids.items()
+            if place in declared or self._values[index]
+        }
+
+    @counters.setter
+    def counters(self, values: Mapping[str, int]) -> None:
+        self._values = [0] * len(self._place_ids)
+        for place, value in values.items():
+            self._values[self._place_ids[place]] = value
 
     def reset(self) -> None:
         """Reset counters to the initial marking."""
-        self.counters = dict(self.task.counters)
+        self._values = list(self._initial)
 
     def activate(self, resolve_choice: ChoiceResolver) -> ActivationResult:
         """Run one activation of the task (one input event)."""
@@ -75,6 +135,52 @@ class TaskExecutor:
         for entry in self.task.entry_fragments:
             self._run_fragment(entry, resolve_choice, result, depth=0)
         return result
+
+    # -- IR lowering -------------------------------------------------------
+    def _place_id(self, place: str) -> int:
+        if place not in self._place_ids:
+            self._place_ids[place] = len(self._place_ids)
+        return self._place_ids[place]
+
+    def _compile_block(self, block: Block) -> Tuple:
+        transition_cycles = self.cost.transition_cycles
+        ops: List[Tuple] = []
+        for statement in block:
+            if isinstance(statement, Comment):
+                continue
+            if isinstance(statement, FireTransition):
+                ops.append(
+                    (_OP_FIRE, statement.transition, statement.cost * transition_cycles)
+                )
+            elif isinstance(statement, IncCount):
+                ops.append((_OP_INC, self._place_id(statement.place), statement.amount))
+            elif isinstance(statement, DecCount):
+                ops.append(
+                    (
+                        _OP_DEC,
+                        self._place_id(statement.place),
+                        statement.amount,
+                        statement.place,
+                    )
+                )
+            elif isinstance(statement, Guarded):
+                conditions = tuple(
+                    (self._place_id(place), threshold)
+                    for place, threshold in statement.conditions
+                )
+                opcode = _OP_IF if statement.kind == "if" else _OP_WHILE
+                ops.append((opcode, conditions, self._compile_block(statement.body)))
+            elif isinstance(statement, ChoiceIf):
+                branches = tuple(
+                    (choice, self._compile_block(branch))
+                    for choice, branch in statement.branches
+                )
+                ops.append((_OP_CHOICE, statement.place, branches))
+            elif isinstance(statement, CallFragment):
+                ops.append((_OP_CALL, statement.fragment))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown IR statement {statement!r}")
+        return tuple(ops)
 
     # -- execution ---------------------------------------------------------
     def _run_fragment(
@@ -89,94 +195,67 @@ class TaskExecutor:
                 f"fragment recursion exceeded {self._max_depth} levels in "
                 f"task {self.task.name!r}"
             )
-        fragment = self.task.fragments[name]
         result.cycles += self.cost.call_cycles
-        self._run_block(fragment.body, resolve_choice, result, depth)
+        self._run_ops(self._code[name], resolve_choice, result, depth)
 
-    def _run_block(
+    def _run_ops(
         self,
-        block: Block,
+        ops: Tuple,
         resolve_choice: ChoiceResolver,
         result: ActivationResult,
         depth: int,
     ) -> None:
-        for statement in block:
-            if isinstance(statement, Comment):
-                continue
-            if isinstance(statement, FireTransition):
-                result.fired.append(statement.transition)
-                result.cycles += statement.cost * self.cost.transition_cycles
-            elif isinstance(statement, IncCount):
-                self.counters[statement.place] = (
-                    self.counters.get(statement.place, 0) + statement.amount
-                )
-                result.cycles += self.cost.counter_cycles
-            elif isinstance(statement, DecCount):
-                updated = self.counters.get(statement.place, 0) - statement.amount
+        values = self._values
+        counter_cycles = self.cost.counter_cycles
+        test_cycles = self.cost.test_cycles
+        for op in ops:
+            kind = op[0]
+            if kind == _OP_FIRE:
+                result.fired.append(op[1])
+                result.cycles += op[2]
+            elif kind == _OP_INC:
+                values[op[1]] += op[2]
+                result.cycles += counter_cycles
+            elif kind == _OP_DEC:
+                updated = values[op[1]] - op[2]
                 if updated < 0:
                     raise ExecutionError(
-                        f"counter for place {statement.place!r} went negative "
+                        f"counter for place {op[3]!r} went negative "
                         f"in task {self.task.name!r}"
                     )
-                self.counters[statement.place] = updated
-                result.cycles += self.cost.counter_cycles
-            elif isinstance(statement, Guarded):
-                self._run_guarded(statement, resolve_choice, result, depth)
-            elif isinstance(statement, ChoiceIf):
-                self._run_choice(statement, resolve_choice, result, depth)
-            elif isinstance(statement, CallFragment):
-                self._run_fragment(
-                    statement.fragment, resolve_choice, result, depth + 1
-                )
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"unknown IR statement {statement!r}")
-
-    def _guard_holds(self, conditions: Tuple[Tuple[str, int], ...]) -> bool:
-        return all(
-            self.counters.get(place, 0) >= threshold for place, threshold in conditions
-        )
-
-    def _run_guarded(
-        self,
-        statement: Guarded,
-        resolve_choice: ChoiceResolver,
-        result: ActivationResult,
-        depth: int,
-    ) -> None:
-        if statement.kind == "if":
-            result.cycles += self.cost.test_cycles
-            if self._guard_holds(statement.conditions):
-                self._run_block(statement.body, resolve_choice, result, depth)
-            return
-        # while loop
-        iterations = 0
-        while True:
-            result.cycles += self.cost.test_cycles
-            if not self._guard_holds(statement.conditions):
-                return
-            self._run_block(statement.body, resolve_choice, result, depth)
-            iterations += 1
-            if iterations > 1_000_000:
-                raise ExecutionError(
-                    "while-guard did not terminate; the generated code would "
-                    "loop forever"
-                )
-
-    def _run_choice(
-        self,
-        statement: ChoiceIf,
-        resolve_choice: ChoiceResolver,
-        result: ActivationResult,
-        depth: int,
-    ) -> None:
-        result.cycles += self.cost.test_cycles
-        chosen = resolve_choice(statement.place)
-        result.choices_taken[statement.place] = chosen
-        for choice, branch in statement.branches:
-            if choice == chosen:
-                self._run_block(branch, resolve_choice, result, depth)
-                return
-        # The data selected an alternative outside this task: nothing to do.
+                values[op[1]] = updated
+                result.cycles += counter_cycles
+            elif kind == _OP_IF:
+                result.cycles += test_cycles
+                if all(values[index] >= threshold for index, threshold in op[1]):
+                    self._run_ops(op[2], resolve_choice, result, depth)
+            elif kind == _OP_WHILE:
+                iterations = 0
+                while True:
+                    result.cycles += test_cycles
+                    if not all(
+                        values[index] >= threshold for index, threshold in op[1]
+                    ):
+                        break
+                    self._run_ops(op[2], resolve_choice, result, depth)
+                    iterations += 1
+                    if iterations > 1_000_000:
+                        raise ExecutionError(
+                            "while-guard did not terminate; the generated code "
+                            "would loop forever"
+                        )
+            elif kind == _OP_CHOICE:
+                result.cycles += test_cycles
+                chosen = resolve_choice(op[1])
+                result.choices_taken[op[1]] = chosen
+                for choice, branch in op[2]:
+                    if choice == chosen:
+                        self._run_ops(branch, resolve_choice, result, depth)
+                        break
+                # otherwise the data selected an alternative outside this
+                # task: nothing to do.
+            else:  # _OP_CALL
+                self._run_fragment(op[1], resolve_choice, result, depth + 1)
 
 
 class ProgramExecutor:

@@ -8,6 +8,7 @@ by the per-figure benchmarks.
 """
 
 from .figures import (
+    analyse_figure,
     figure1a_free_choice,
     figure1b_not_free_choice,
     figure2_sdf_chain,
@@ -20,6 +21,7 @@ from .figures import (
 )
 
 __all__ = [
+    "analyse_figure",
     "figure1a_free_choice",
     "figure1b_not_free_choice",
     "figure2_sdf_chain",

@@ -18,6 +18,14 @@ library) needs from Petri net theory:
 """
 
 from .builder import NetBuilder
+from .compiled import (
+    ENGINE_COMPILED,
+    ENGINE_LEGACY,
+    ENGINES,
+    CompiledNet,
+    compile_net,
+    validate_engine,
+)
 from .exceptions import (
     DuplicateNodeError,
     InconsistentNetError,
@@ -74,6 +82,7 @@ from .serialization import (
     save_net,
 )
 from .simulation import (
+    CompiledSimulator,
     SimulationTrace,
     Simulator,
     find_finite_complete_cycle,
@@ -84,6 +93,7 @@ from .simulation import (
     make_adversarial_policy,
     make_random_policy,
     policy_first_enabled,
+    simulate_many,
 )
 from .structure import (
     choice_sets,
@@ -112,6 +122,13 @@ __all__ = [
     "Arc",
     "Marking",
     "NetBuilder",
+    # compiled engine
+    "CompiledNet",
+    "compile_net",
+    "ENGINES",
+    "ENGINE_COMPILED",
+    "ENGINE_LEGACY",
+    "validate_engine",
     # exceptions
     "PetriNetError",
     "DuplicateNodeError",
@@ -157,6 +174,8 @@ __all__ = [
     "minimal_positive_t_invariant",
     # simulation
     "Simulator",
+    "CompiledSimulator",
+    "simulate_many",
     "SimulationTrace",
     "fire_sequence",
     "is_fireable",

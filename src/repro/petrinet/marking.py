@@ -36,6 +36,20 @@ class Marking(Mapping[str, int]):
         self._tokens: Dict[str, int] = {p: c for p, c in items.items() if c}
         self._hash: int | None = None
 
+    @classmethod
+    def _from_clean(cls, tokens: Dict[str, int]) -> "Marking":
+        """Internal fast constructor for already-normalized token dicts.
+
+        ``tokens`` must contain no zero and no negative counts and must
+        not be mutated by the caller afterwards.  Used by the compiled
+        engine when decompiling marking tuples in bulk, where the
+        validation pass of ``__init__`` would dominate.
+        """
+        marking = object.__new__(cls)
+        marking._tokens = tokens
+        marking._hash = None
+        return marking
+
     # -- Mapping protocol ------------------------------------------------
     def __getitem__(self, place: str) -> int:
         return self._tokens.get(place, 0)

@@ -21,7 +21,10 @@ Design notes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from .compiled import CompiledNet
 
 from .exceptions import (
     DuplicateNodeError,
@@ -415,6 +418,21 @@ class PetriNet:
         for place, weight in self._succ[name].items():
             tokens[place] = tokens.get(place, 0) + weight
         return Marking(tokens)
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(self) -> "CompiledNet":
+        """Compile the net into its frozen integer-indexed form.
+
+        The returned :class:`~repro.petrinet.compiled.CompiledNet` is a
+        snapshot: later mutations of this net are not reflected in it.
+        All hot analyses (reachability, constrained simulation, QSS) run
+        on the compiled view; see :mod:`repro.petrinet.compiled`.
+        """
+        from .compiled import CompiledNet
+
+        return CompiledNet.from_net(self)
 
     # ------------------------------------------------------------------
     # Copy / combination

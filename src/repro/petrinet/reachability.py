@@ -20,8 +20,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from itertools import compress
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple, Union
 
+from .compiled import ENGINE_COMPILED, ENGINE_LEGACY, CompiledNet, validate_engine
 from .marking import Marking
 from .net import PetriNet
 
@@ -48,16 +50,31 @@ class ReachabilityGraph:
     markings: List[Marking] = field(default_factory=list)
     edges: List[Tuple[int, str, int]] = field(default_factory=list)
     complete: bool = True
+    _index: Dict[Marking, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def initial(self) -> Marking:
         return self.markings[0]
 
+    def _ensure_index(self) -> Dict[Marking, int]:
+        # built lazily: graphs constructed from a finished exploration
+        # only pay for the hash map when a lookup is actually needed
+        if not self._index and self.markings:
+            self._index = {m: i for i, m in enumerate(self.markings)}
+        return self._index
+
+    def add_marking(self, marking: Marking) -> int:
+        """Append a marking (must be new) and return its index."""
+        index_map = self._ensure_index()
+        index = len(self.markings)
+        self.markings.append(marking)
+        index_map[marking] = index
+        return index
+
     def index_of(self, marking: Marking) -> Optional[int]:
-        try:
-            return self.markings.index(marking)
-        except ValueError:
-            return None
+        return self._ensure_index().get(marking)
 
     def successors(self, index: int) -> List[Tuple[str, int]]:
         return [(t, dst) for src, t, dst in self.edges if src == index]
@@ -73,44 +90,131 @@ class ReachabilityGraph:
 
 
 def build_reachability_graph(
-    net: PetriNet, max_markings: int = 100_000, marking: Optional[Marking] = None
+    net: Union[PetriNet, CompiledNet],
+    max_markings: int = 100_000,
+    marking: Optional[Marking] = None,
+    engine: str = ENGINE_COMPILED,
 ) -> ReachabilityGraph:
     """Breadth-first exploration of the reachable markings.
 
     Exploration stops (and ``complete`` is set to False) when
     ``max_markings`` distinct markings have been discovered, which is the
     only way to terminate on unbounded nets.
+
+    ``engine`` selects the execution core: ``"compiled"`` (default)
+    explores integer marking tuples on the net's
+    :class:`~repro.petrinet.compiled.CompiledNet` view and decompiles
+    the discovered markings at the end; ``"legacy"`` runs the original
+    dict-based token game.  Both engines visit the same markings in the
+    same BFS order, so the resulting graphs are identical.
     """
+    validate_engine(engine)
+    if isinstance(net, CompiledNet):
+        if engine == ENGINE_LEGACY:
+            raise ValueError(
+                "engine='legacy' needs a PetriNet; pass net.decompile() to "
+                "run the dict-based exploration on a compiled net"
+            )
+        return _build_reachability_graph_compiled(
+            net, max_markings=max_markings, marking=marking
+        )
+    if engine == ENGINE_COMPILED:
+        return _build_reachability_graph_compiled(
+            net.compile(), max_markings=max_markings, marking=marking
+        )
     start = marking if marking is not None else net.initial_marking
     graph = ReachabilityGraph(markings=[start])
-    index: Dict[Marking, int] = {start: 0}
     queue = deque([0])
     while queue:
         current_index = queue.popleft()
         current = graph.markings[current_index]
         for transition in net.enabled_transitions(current):
             successor = net.fire(transition, current)
-            if successor not in index:
+            successor_index = graph.index_of(successor)
+            if successor_index is None:
                 if len(graph.markings) >= max_markings:
                     graph.complete = False
                     return graph
-                index[successor] = len(graph.markings)
-                graph.markings.append(successor)
-                queue.append(index[successor])
-            graph.edges.append((current_index, transition, index[successor]))
+                successor_index = graph.add_marking(successor)
+                queue.append(successor_index)
+            graph.edges.append((current_index, transition, successor_index))
     return graph
 
 
+def _build_reachability_graph_compiled(
+    compiled: CompiledNet, max_markings: int, marking: Optional[Marking]
+) -> ReachabilityGraph:
+    """BFS over compiled marking tuples with a marking->index hash map.
+
+    The hot primitive is the net-specialized
+    :attr:`~repro.petrinet.compiled.CompiledNet.expander`, which yields
+    every enabled transition and its successor marking in one generated
+    straight-line function.  The visit order — and therefore the node
+    numbering, the edge list and the ``max_markings`` cutoff point — is
+    identical to the legacy one-marking-at-a-time exploration.
+    """
+    start = (
+        compiled.marking_to_tuple(marking)
+        if marking is not None
+        else compiled.initial
+    )
+    markings: List[Tuple[int, ...]] = [start]
+    index: Dict[Tuple[int, ...], int] = {start: 0}
+    edges: List[Tuple[int, str, int]] = []
+    complete = True
+    transition_names = compiled.transitions
+    expand = compiled.expander
+    queue = deque([0])
+    count = 1
+    index_get = index.get
+    append_edge = edges.append
+    append_marking = markings.append
+    append_queue = queue.append
+    popleft = queue.popleft
+    while queue:
+        current_index = popleft()
+        current = markings[current_index]
+        for transition, successor in expand(current):
+            successor_index = index_get(successor)
+            if successor_index is None:
+                if count >= max_markings:
+                    complete = False
+                    queue.clear()
+                    break
+                successor_index = count
+                index[successor] = count
+                append_marking(successor)
+                append_queue(count)
+                count += 1
+            append_edge(
+                (current_index, transition_names[transition], successor_index)
+            )
+        if not complete:
+            break
+    # bulk decompile: compiled tuples hold plain non-negative ints, so the
+    # Marking dicts can be assembled entirely in C (compress drops zeros)
+    places = compiled.places
+    from_clean = Marking._from_clean
+    decompiled = [
+        from_clean(dict(zip(compress(places, m), compress(m, m))))
+        for m in markings
+    ]
+    return ReachabilityGraph(markings=decompiled, edges=edges, complete=complete)
+
+
 def is_reachable(
-    net: PetriNet,
+    net: Union[PetriNet, CompiledNet],
     target: Marking,
     marking: Optional[Marking] = None,
     max_markings: int = 100_000,
+    engine: str = ENGINE_COMPILED,
 ) -> bool:
     """True if ``target`` is reachable from ``marking`` (exact for bounded
     nets explored within the limit)."""
-    graph = build_reachability_graph(net, max_markings=max_markings, marking=marking)
-    return target in graph.markings
+    graph = build_reachability_graph(
+        net, max_markings=max_markings, marking=marking, engine=engine
+    )
+    return graph.index_of(target) is not None
 
 
 # ----------------------------------------------------------------------
@@ -252,26 +356,41 @@ def is_safe(net: PetriNet, marking: Optional[Marking] = None) -> bool:
 # Deadlock and liveness (exact on bounded nets)
 # ----------------------------------------------------------------------
 def find_deadlocks(
-    net: PetriNet, marking: Optional[Marking] = None, max_markings: int = 100_000
+    net: Union[PetriNet, CompiledNet],
+    marking: Optional[Marking] = None,
+    max_markings: int = 100_000,
+    engine: str = ENGINE_COMPILED,
 ) -> List[Marking]:
     """Reachable markings with no enabled transition."""
-    graph = build_reachability_graph(net, max_markings=max_markings, marking=marking)
+    graph = build_reachability_graph(
+        net, max_markings=max_markings, marking=marking, engine=engine
+    )
     return graph.deadlock_markings()
 
 
 def is_deadlock_free(
-    net: PetriNet, marking: Optional[Marking] = None, max_markings: int = 100_000
+    net: Union[PetriNet, CompiledNet],
+    marking: Optional[Marking] = None,
+    max_markings: int = 100_000,
+    engine: str = ENGINE_COMPILED,
 ) -> bool:
     """True if every reachable marking enables at least one transition."""
-    return not find_deadlocks(net, marking=marking, max_markings=max_markings)
+    return not find_deadlocks(
+        net, marking=marking, max_markings=max_markings, engine=engine
+    )
 
 
 def is_live(
-    net: PetriNet, marking: Optional[Marking] = None, max_markings: int = 100_000
+    net: PetriNet,
+    marking: Optional[Marking] = None,
+    max_markings: int = 100_000,
+    engine: str = ENGINE_COMPILED,
 ) -> bool:
     """True if from every reachable marking every transition can eventually
     fire again (exact for nets whose reachability graph fits in the limit)."""
-    graph = build_reachability_graph(net, max_markings=max_markings, marking=marking)
+    graph = build_reachability_graph(
+        net, max_markings=max_markings, marking=marking, engine=engine
+    )
     if not graph.complete:
         raise RuntimeError(
             "liveness is only decided exactly on nets whose reachability "

@@ -12,19 +12,42 @@ Two kinds of simulation are needed by the paper's algorithms:
 2. **Free simulation** (:class:`Simulator`): execute the net step by step
    under a pluggable choice policy; used by the runtime substrate, by the
    adversarial boundedness experiments and by tests.
+
+Both kinds run on the integer-indexed
+:class:`~repro.petrinet.compiled.CompiledNet` core by default (pass
+``engine="legacy"`` or use :class:`Simulator` for the original
+dict-based token game).  :class:`CompiledSimulator` and
+:func:`simulate_many` expose the compiled engine directly for
+scenario fan-out: one compilation, many cheap runs over marking tuples.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from .compiled import (
+    ENGINE_COMPILED,
+    ENGINE_LEGACY,
+    CompiledNet,
+    MarkingTuple,
+    compile_net,
+    validate_engine,
+)
 from .exceptions import NotEnabledError
 from .marking import Marking
 from .net import PetriNet
 
-ChoicePolicy = Callable[[PetriNet, Marking, List[str]], str]
+#: A choice policy picks one of the enabled transitions (by name).  The
+#: first argument is the net being simulated — a :class:`PetriNet` under
+#: :class:`Simulator` and a :class:`CompiledNet` under
+#: :class:`CompiledSimulator` (where the second argument is the compiled
+#: marking tuple rather than a :class:`Marking`).  The bundled policies
+#: only look at the enabled list, so they work under either engine.
+ChoicePolicy = Callable[..., str]
+
+NetLike = Union[PetriNet, CompiledNet]
 
 
 @dataclass
@@ -67,22 +90,32 @@ class SimulationTrace:
 
 
 def fire_sequence(
-    net: PetriNet, sequence: Sequence[str], marking: Optional[Marking] = None
+    net: NetLike, sequence: Sequence[str], marking: Optional[Marking] = None
 ) -> Marking:
     """Fire ``sequence`` from ``marking`` (default: the initial marking)
     and return the resulting marking.
 
+    Accepts either a :class:`PetriNet` or a :class:`CompiledNet`; the
+    result is always a named :class:`Marking`.
+
     Raises :class:`~repro.petrinet.exceptions.NotEnabledError` if any
     transition in the sequence is not enabled when its turn comes.
     """
-    current = marking if marking is not None else net.initial_marking
+    if isinstance(net, CompiledNet):
+        current = (
+            net.marking_to_tuple(marking) if marking is not None else net.initial
+        )
+        for transition in sequence:
+            current = net.fire_by_name(transition, current)
+        return net.marking_from_tuple(current)
+    state = marking if marking is not None else net.initial_marking
     for transition in sequence:
-        current = net.fire(transition, current)
-    return current
+        state = net.fire(transition, state)
+    return state
 
 
 def is_fireable(
-    net: PetriNet, sequence: Sequence[str], marking: Optional[Marking] = None
+    net: NetLike, sequence: Sequence[str], marking: Optional[Marking] = None
 ) -> bool:
     """True if ``sequence`` can be fired from ``marking`` without blocking."""
     try:
@@ -93,25 +126,27 @@ def is_fireable(
 
 
 def is_finite_complete_cycle(
-    net: PetriNet, sequence: Sequence[str], marking: Optional[Marking] = None
+    net: NetLike, sequence: Sequence[str], marking: Optional[Marking] = None
 ) -> bool:
     """True if ``sequence`` is fireable and returns the net to ``marking``.
 
     This is the defining property of a finite complete cycle (Section 2):
     the period of a static or quasi-static schedule.
     """
-    start = marking if marking is not None else net.initial_marking
+    if marking is None:
+        marking = net.initial_marking
     try:
-        end = fire_sequence(net, sequence, start)
+        end = fire_sequence(net, sequence, marking)
     except NotEnabledError:
         return False
-    return end == start
+    return end == marking
 
 
 def find_firing_sequence(
-    net: PetriNet,
+    net: NetLike,
     firing_counts: Mapping[str, int],
     marking: Optional[Marking] = None,
+    engine: str = ENGINE_COMPILED,
 ) -> Optional[List[str]]:
     """Find an executable ordering of the given firing counts.
 
@@ -127,7 +162,23 @@ def find_firing_sequence(
     this is applied to by the QSS algorithm) a greedy strategy succeeds
     without backtracking in the common case, so the worst-case
     exponential behaviour is not observed in practice.
+
+    By default the search runs on the net's compiled view (marking
+    tuples and integer transition ids); candidates are tried in the
+    order of ``firing_counts``, so both engines return the same
+    sequence.  Passing a :class:`CompiledNet` skips the compilation.
     """
+    validate_engine(engine)
+    if isinstance(net, CompiledNet):
+        if engine == ENGINE_LEGACY:
+            raise ValueError(
+                "engine='legacy' needs a PetriNet; pass net.decompile() to "
+                "run the dict-based search on a compiled net"
+            )
+        return _find_firing_sequence_compiled(net, firing_counts, marking)
+    if engine == ENGINE_COMPILED:
+        return _find_firing_sequence_compiled(net.compile(), firing_counts, marking)
+
     start = marking if marking is not None else net.initial_marking
     remaining = {t: int(c) for t, c in firing_counts.items() if c > 0}
     if not remaining:
@@ -167,10 +218,65 @@ def find_firing_sequence(
     return None
 
 
+def _find_firing_sequence_compiled(
+    compiled: CompiledNet,
+    firing_counts: Mapping[str, int],
+    marking: Optional[Marking],
+) -> Optional[List[str]]:
+    """Compiled-core DFS mirroring the legacy search exactly.
+
+    Candidate transitions are tried in ``firing_counts`` order (as in
+    the legacy engine), so both engines find the same sequence.
+    """
+    start = (
+        compiled.marking_to_tuple(marking)
+        if marking is not None
+        else compiled.initial
+    )
+    remaining: Dict[int, int] = {}
+    for name, count in firing_counts.items():
+        if count > 0:
+            remaining[compiled.transition_id(name)] = int(count)
+    if not remaining:
+        return []
+
+    failed: set = set()
+    sequence: List[int] = []
+    is_enabled = compiled.is_enabled
+    fire = compiled.fire_unchecked
+
+    def search(current: MarkingTuple, counts: Dict[int, int]) -> bool:
+        if not counts:
+            return True
+        key = (current, tuple(sorted(counts.items())))
+        if key in failed:
+            return False
+        for transition in list(counts):
+            if not is_enabled(transition, current):
+                continue
+            next_marking = fire(transition, current)
+            next_counts = dict(counts)
+            next_counts[transition] -= 1
+            if next_counts[transition] == 0:
+                del next_counts[transition]
+            sequence.append(transition)
+            if search(next_marking, next_counts):
+                return True
+            sequence.pop()
+        failed.add(key)
+        return False
+
+    if search(start, remaining):
+        names = compiled.transitions
+        return [names[t] for t in sequence]
+    return None
+
+
 def find_finite_complete_cycle(
-    net: PetriNet,
+    net: NetLike,
     firing_counts: Mapping[str, int],
     marking: Optional[Marking] = None,
+    engine: str = ENGINE_COMPILED,
 ) -> Optional[List[str]]:
     """Find a finite complete cycle realizing ``firing_counts``.
 
@@ -179,11 +285,12 @@ def find_finite_complete_cycle(
     satisfy the state equation, but the check guards against callers
     passing non-stationary vectors).
     """
-    start = marking if marking is not None else net.initial_marking
-    sequence = find_firing_sequence(net, firing_counts, start)
+    if marking is None:
+        marking = net.initial_marking
+    sequence = find_firing_sequence(net, firing_counts, marking, engine=engine)
     if sequence is None:
         return None
-    if fire_sequence(net, sequence, start) != start:
+    if fire_sequence(net, sequence, marking) != marking:
         return None
     return sequence
 
@@ -264,3 +371,147 @@ class Simulator:
             if self.step() is None:
                 break
         return self.trace
+
+
+class CompiledSimulator:
+    """Token-game simulator running on the compiled integer-indexed core.
+
+    Mirrors :class:`Simulator` — same trace format, same policy protocol
+    (the bundled policies work unchanged) — but keeps the marking as an
+    integer tuple and fires through the compiled delta tables, which is
+    what makes large scenario fan-outs affordable.
+
+    Parameters
+    ----------
+    net:
+        A :class:`PetriNet` (compiled on the fly) or a pre-compiled
+        :class:`CompiledNet` (shared across simulators for fan-out).
+    record_markings:
+        When True (default) the trace records the marking after every
+        firing, exactly like :class:`Simulator`.  When False only the
+        initial and current/final markings are kept, so long runs do not
+        accumulate memory; ``len(trace.markings)`` is then at most 2.
+    """
+
+    def __init__(
+        self,
+        net: NetLike,
+        marking: Optional[Marking] = None,
+        policy: ChoicePolicy = policy_first_enabled,
+        record_markings: bool = True,
+    ) -> None:
+        self.compiled = compile_net(net)
+        self._marking: MarkingTuple = (
+            self.compiled.marking_to_tuple(marking)
+            if marking is not None
+            else self.compiled.initial
+        )
+        self.policy = policy
+        self.record_markings = record_markings
+        self.trace = SimulationTrace(
+            markings=[self.compiled.marking_from_tuple(self._marking)]
+        )
+
+    @property
+    def marking(self) -> Marking:
+        """The current marking, decompiled to a named :class:`Marking`."""
+        return self.compiled.marking_from_tuple(self._marking)
+
+    @property
+    def marking_tuple(self) -> MarkingTuple:
+        """The current marking in compiled (tuple) form."""
+        return self._marking
+
+    def enabled(self) -> List[str]:
+        """Names of the transitions enabled in the current marking."""
+        names = self.compiled.transitions
+        return [
+            names[t] for t in self.compiled.enabled_transitions(self._marking)
+        ]
+
+    def step(self) -> Optional[str]:
+        """Fire one transition chosen by the policy.
+
+        Returns the fired transition name, or ``None`` if the net is
+        deadlocked (no transition enabled).
+        """
+        compiled = self.compiled
+        enabled_ids = compiled.enabled_transitions(self._marking)
+        if not enabled_ids:
+            self.trace.deadlocked = True
+            return None
+        names = compiled.transitions
+        enabled = [names[t] for t in enabled_ids]
+        transition = self.policy(compiled, self._marking, enabled)
+        self._marking = compiled.fire_unchecked(
+            enabled_ids[enabled.index(transition)], self._marking
+        )
+        self.trace.fired.append(transition)
+        if self.record_markings:
+            self.trace.markings.append(compiled.marking_from_tuple(self._marking))
+        return transition
+
+    def run(self, max_steps: int) -> SimulationTrace:
+        """Fire up to ``max_steps`` transitions (stopping early on deadlock).
+
+        With ``record_markings=False`` the trace's ``markings`` hold just
+        the initial and the final marking after the run.
+        """
+        for _ in range(max_steps):
+            if self.step() is None:
+                break
+        if not self.record_markings:
+            final = self.compiled.marking_from_tuple(self._marking)
+            if len(self.trace.markings) > 1:
+                self.trace.markings[-1] = final
+            else:
+                self.trace.markings.append(final)
+        return self.trace
+
+
+def simulate_many(
+    net: NetLike,
+    runs: int,
+    max_steps: int,
+    policy: Optional[ChoicePolicy] = None,
+    seed: Optional[int] = None,
+    marking: Optional[Marking] = None,
+    record_markings: bool = False,
+) -> List[SimulationTrace]:
+    """Batched multi-run simulation for scenario fan-out.
+
+    Compiles ``net`` once and runs ``runs`` independent simulations of up
+    to ``max_steps`` firings each on the shared compiled core.
+
+    Parameters
+    ----------
+    policy / seed:
+        When ``seed`` is given, run ``i`` uses a fresh random policy
+        seeded ``seed + i`` (reproducible, decorrelated scenarios) and
+        ``policy`` must be None.  Otherwise every run uses ``policy``
+        (default: :func:`policy_first_enabled`).
+    record_markings:
+        Passed to :class:`CompiledSimulator`; off by default because
+        fan-out workloads typically only need firing counts and final
+        markings.
+    """
+    if runs < 0:
+        raise ValueError("runs must be non-negative")
+    if seed is not None and policy is not None:
+        raise ValueError("pass either a policy or a seed, not both")
+    compiled = compile_net(net)
+    traces: List[SimulationTrace] = []
+    for run in range(runs):
+        run_policy: ChoicePolicy
+        if seed is not None:
+            run_policy = make_random_policy(seed + run)
+        else:
+            run_policy = policy or policy_first_enabled
+        simulator = CompiledSimulator(
+            compiled,
+            marking=marking,
+            policy=run_policy,
+            record_markings=record_markings,
+        )
+        traces.append(simulator.run(max_steps))
+    return traces

@@ -22,12 +22,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..petrinet import (
+    ENGINE_COMPILED,
     Marking,
     PetriNet,
     combine_invariants,
     find_finite_complete_cycle,
     invariants_containing,
     t_invariants,
+    validate_engine,
 )
 from .reduction import TReduction
 
@@ -140,8 +142,17 @@ def check_reduction(
     net: PetriNet,
     reduction: TReduction,
     marking: Optional[Marking] = None,
+    engine: str = ENGINE_COMPILED,
 ) -> ReductionVerdict:
-    """Check Definition 3.5 for one T-reduction of ``net``."""
+    """Check Definition 3.5 for one T-reduction of ``net``.
+
+    With the default ``engine="compiled"`` the deadlock-freedom
+    simulation of condition (3) runs on the reduction's cached
+    :class:`~repro.petrinet.compiled.CompiledNet` view — compiled once
+    per reduction and reused across the ``MAX_CYCLE_SCALE`` attempts and
+    across repeated checks during the allocation enumeration.
+    """
+    validate_engine(engine)
     sources = net.source_transitions()
     reduced = reduction.net
     invariants = t_invariants(reduced)
@@ -174,9 +185,10 @@ def check_reduction(
 
     counts = _covering_counts(reduction, invariants, sources)
     start = marking if marking is not None else reduced.initial_marking
+    target = reduction.compiled if engine == ENGINE_COMPILED else reduced
     for scale in range(1, MAX_CYCLE_SCALE + 1):
         scaled = {t: c * scale for t, c in counts.items()}
-        cycle = find_finite_complete_cycle(reduced, scaled, start)
+        cycle = find_finite_complete_cycle(target, scaled, start, engine=engine)
         if cycle is not None:
             verdict.cycle = cycle
             verdict.schedulable = True
@@ -189,6 +201,10 @@ def check_all_reductions(
     net: PetriNet,
     reductions: Sequence[TReduction],
     marking: Optional[Marking] = None,
+    engine: str = ENGINE_COMPILED,
 ) -> List[ReductionVerdict]:
     """Check every reduction; the net is schedulable iff all verdicts are."""
-    return [check_reduction(net, reduction, marking) for reduction in reductions]
+    return [
+        check_reduction(net, reduction, marking, engine=engine)
+        for reduction in reductions
+    ]

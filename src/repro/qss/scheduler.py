@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..petrinet import Marking, PetriNet
+from ..petrinet import ENGINE_COMPILED, Marking, PetriNet, validate_engine
 from ..petrinet.exceptions import NotFreeChoiceError, NotSchedulableError
 from ..petrinet.structure import is_free_choice
 from .allocation import count_allocations
@@ -84,21 +84,30 @@ def analyse(
     net: PetriNet,
     marking: Optional[Marking] = None,
     require_free_choice: bool = True,
+    engine: str = ENGINE_COMPILED,
 ) -> SchedulabilityReport:
     """Run the complete QSS analysis and build the valid schedule if any.
+
+    ``engine`` selects the execution core for the per-reduction
+    constrained simulations: ``"compiled"`` (default) or ``"legacy"``;
+    both produce identical verdicts and cycles.
 
     Raises
     ------
     NotFreeChoiceError
         If ``require_free_choice`` is True and the net is not free-choice.
     """
+    validate_engine(engine)
     if require_free_choice and not is_free_choice(net):
         raise NotFreeChoiceError(
             f"net {net.name!r} is not a Free-Choice Petri Net; the QSS "
             "algorithm is only defined (and complete) for FCPNs"
         )
     reductions = enumerate_reductions(net, deduplicate=True)
-    verdicts = [check_reduction(net, reduction, marking) for reduction in reductions]
+    verdicts = [
+        check_reduction(net, reduction, marking, engine=engine)
+        for reduction in reductions
+    ]
     schedulable = all(v.schedulable for v in verdicts)
     report = SchedulabilityReport(
         net=net,
@@ -122,13 +131,15 @@ def analyse(
     return report
 
 
-def is_schedulable(net: PetriNet, marking: Optional[Marking] = None) -> bool:
+def is_schedulable(
+    net: PetriNet, marking: Optional[Marking] = None, engine: str = ENGINE_COMPILED
+) -> bool:
     """True iff the FCPN is quasi-statically schedulable (Definition 3.2)."""
-    return analyse(net, marking).schedulable
+    return analyse(net, marking, engine=engine).schedulable
 
 
 def compute_valid_schedule(
-    net: PetriNet, marking: Optional[Marking] = None
+    net: PetriNet, marking: Optional[Marking] = None, engine: str = ENGINE_COMPILED
 ) -> ValidSchedule:
     """Compute a valid schedule, raising when the net is not schedulable.
 
@@ -138,7 +149,7 @@ def compute_valid_schedule(
         With the full diagnostic report in the message when the net has
         no valid schedule.
     """
-    report = analyse(net, marking)
+    report = analyse(net, marking, engine=engine)
     if not report.schedulable or report.schedule is None:
         raise NotSchedulableError(report.explain())
     return report.schedule
@@ -152,15 +163,21 @@ class QuasiStaticScheduler:
     re-running the decomposition.
     """
 
-    def __init__(self, net: PetriNet, marking: Optional[Marking] = None) -> None:
+    def __init__(
+        self,
+        net: PetriNet,
+        marking: Optional[Marking] = None,
+        engine: str = ENGINE_COMPILED,
+    ) -> None:
         self.net = net
         self.marking = marking
+        self.engine = validate_engine(engine)
         self._report: Optional[SchedulabilityReport] = None
 
     @property
     def report(self) -> SchedulabilityReport:
         if self._report is None:
-            self._report = analyse(self.net, self.marking)
+            self._report = analyse(self.net, self.marking, engine=self.engine)
         return self._report
 
     def is_schedulable(self) -> bool:

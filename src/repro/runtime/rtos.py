@@ -111,11 +111,31 @@ class RTOS:
         from ..codegen.interpreter import make_resolver
 
         stats = ExecutionStats()
+        activation_cycles = self.cost.activation_cycles
+        task_for_source = self.executor.task_for_source
         for event in sorted(events, key=lambda e: e.time):
             stats.events_processed += 1
-            task_executor = self.executor.task_for_source(event.source)
-            stats.record_activation(task_executor.task.name, self.cost.activation_cycles)
+            task_executor = task_for_source(event.source)
+            stats.record_activation(task_executor.task.name, activation_cycles)
             resolver = make_resolver(dict(event.choices))
             result = task_executor.activate(resolver)
             stats.record_body(result.cycles, result.fired)
         return stats
+
+    def run_many(
+        self, scenarios: Sequence[Sequence[Event]], reset_between: bool = True
+    ) -> List[ExecutionStats]:
+        """Run several event scenarios on the same synthesized program.
+
+        The program is compiled to its executable form once (at RTOS
+        construction); each scenario then only pays the dispatch loop,
+        which is what makes large scenario fan-outs affordable.  With
+        ``reset_between`` (the default) every scenario starts from the
+        initial counter state, so the per-scenario stats are independent.
+        """
+        results: List[ExecutionStats] = []
+        for events in scenarios:
+            if reset_between:
+                self.reset()
+            results.append(self.run(events))
+        return results
