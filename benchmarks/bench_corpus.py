@@ -1,0 +1,104 @@
+"""Corpus pipeline benchmarks: parallel fan-out vs the sequential baseline.
+
+The scenario-corpus pipeline (``repro.petrinet.corpus``) is
+embarrassingly parallel — one independent property analysis per net — so
+its wall-clock should shrink with the pool size.  These benches time the
+same spec list through ``run_corpus(workers=1)`` (in-process, no pool)
+and ``run_corpus(workers=N)`` (multiprocessing pool with per-worker
+compiled-net caches) and record the speedup.
+
+The speedup assertion only runs on multi-core machines: on a single CPU
+a process pool cannot beat the sequential loop (it adds fork and IPC
+overhead on top of the same serialized compute), so there the benches
+only check that the parallel path returns identical verdicts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.petrinet.corpus import clear_compiled_cache, generate_corpus, run_corpus
+
+#: One corpus, shared by every bench in this module.  Big enough that
+#: per-net analysis dominates pool management, small enough for CI.
+CORPUS_N = 64
+CORPUS_SEED = 11
+PARALLEL_WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def corpus_specs():
+    return generate_corpus(CORPUS_N, seed=CORPUS_SEED)
+
+
+def _strip_timing(records):
+    return [record.to_dict() | {"elapsed_ms": 0.0} for record in records]
+
+
+def _run_cold(specs, workers):
+    """One corpus pass with a cold compiled-net cache.
+
+    Forked pool workers inherit the parent's module-level cache, so an
+    earlier in-process pass would hand the parallel run pre-compiled
+    nets for free; clearing first keeps both sides honest.
+    """
+    clear_compiled_cache()
+    return run_corpus(specs, workers=workers)
+
+
+def test_corpus_sequential_baseline(benchmark, corpus_specs):
+    result = benchmark.pedantic(
+        _run_cold, args=(corpus_specs, 1), rounds=1, iterations=1
+    )
+    assert len(result.records) == CORPUS_N
+    assert not result.errors
+    benchmark.extra_info["n"] = CORPUS_N
+    benchmark.extra_info["workers"] = 1
+
+
+def test_corpus_parallel_pool(benchmark, corpus_specs):
+    result = benchmark.pedantic(
+        _run_cold, args=(corpus_specs, PARALLEL_WORKERS), rounds=1, iterations=1
+    )
+    assert len(result.records) == CORPUS_N
+    assert not result.errors
+    benchmark.extra_info["n"] = CORPUS_N
+    benchmark.extra_info["workers"] = PARALLEL_WORKERS
+
+
+def _best_of_two(specs, workers):
+    """Best-of-2 cold wall-clock, to damp scheduler noise on CI runners."""
+    best_result, best_seconds = None, float("inf")
+    for _ in range(2):
+        started = time.perf_counter()
+        result = _run_cold(specs, workers)
+        seconds = time.perf_counter() - started
+        if seconds < best_seconds:
+            best_result, best_seconds = result, seconds
+    return best_result, best_seconds
+
+
+def test_parallel_matches_sequential_and_speeds_up(corpus_specs):
+    """Verdicts are engine- and pool-independent; the pool wins on multi-core."""
+    sequential, sequential_seconds = _best_of_two(corpus_specs, 1)
+    parallel, parallel_seconds = _best_of_two(corpus_specs, PARALLEL_WORKERS)
+
+    assert _strip_timing(parallel.records) == _strip_timing(sequential.records)
+
+    cpus = os.cpu_count() or 1
+    speedup = sequential_seconds / parallel_seconds
+    print(
+        f"\ncorpus n={CORPUS_N}: sequential {sequential_seconds:.2f}s, "
+        f"parallel({PARALLEL_WORKERS}w) {parallel_seconds:.2f}s, "
+        f"speedup {speedup:.2f}x on {cpus} cpu(s)"
+    )
+    if cpus >= 2:
+        # the pool must beat the in-process loop once there is real
+        # hardware parallelism to exploit
+        assert speedup > 1.0, (
+            f"parallel corpus analysis ({parallel_seconds:.2f}s) should beat "
+            f"the sequential baseline ({sequential_seconds:.2f}s) on {cpus} CPUs"
+        )

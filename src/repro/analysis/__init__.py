@@ -1,5 +1,6 @@
-"""Analysis helpers: Table-I style comparisons, buffer metrics, trade-offs."""
+"""Analysis helpers: Table-I comparisons, buffer metrics, trade-offs, corpus stats."""
 
+from .corpus_stats import render_corpus_summary, summarize_corpus
 from .metrics import (
     ComparisonTable,
     ImplementationMetrics,
@@ -22,4 +23,6 @@ __all__ = [
     "TradeoffPoint",
     "sharing_tradeoff",
     "overhead_sensitivity",
+    "summarize_corpus",
+    "render_corpus_summary",
 ]

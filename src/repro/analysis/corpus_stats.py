@@ -1,0 +1,94 @@
+"""Aggregate statistics over a scenario-corpus run.
+
+:func:`summarize_corpus` condenses the per-net records produced by
+:mod:`repro.petrinet.corpus` into the ``summary`` block of the corpus
+JSON (counts by family and net class, property fractions, timing), and
+:func:`render_corpus_summary` formats that block as the aligned text
+table the ``repro-qss corpus`` subcommand prints.
+
+Both functions operate on plain record dicts (the JSON form), so they
+work on freshly analysed corpora and on summaries reloaded from disk
+alike.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Iterable, List, Mapping
+
+
+def _verdict_counts(records: List[Mapping[str, Any]], field: str) -> Dict[str, int]:
+    """Count True / False / undecided verdicts of one property.
+
+    ``None`` verdicts and records whose analysis raised (``error`` set —
+    any field still at its default is meaningless there) both count as
+    undecided.
+    """
+    counts = {"true": 0, "false": 0, "undecided": 0}
+    for record in records:
+        value = record.get(field)
+        if value is None or record.get("error") is not None:
+            counts["undecided"] += 1
+        elif value:
+            counts["true"] += 1
+        else:
+            counts["false"] += 1
+    return counts
+
+
+def summarize_corpus(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Aggregate a corpus into the JSON ``summary`` block.
+
+    Returns counts by family and net class, True/False/undecided tallies
+    for every property verdict, size extremes and wall-clock totals.
+    All values are plain JSON types.
+    """
+    records = list(records)
+    by_family = Counter(record["family"] for record in records)
+    by_class = Counter(record["net_class"] for record in records if record["net_class"])
+    elapsed = [float(record["elapsed_ms"]) for record in records]
+    return {
+        "total": len(records),
+        "by_family": dict(sorted(by_family.items())),
+        "by_class": dict(sorted(by_class.items())),
+        "properties": {
+            "bounded": _verdict_counts(records, "bounded"),
+            "deadlock_free": _verdict_counts(records, "deadlock_free"),
+            "live": _verdict_counts(records, "live"),
+            "schedulable": _verdict_counts(records, "schedulable"),
+        },
+        "free_choice": sum(1 for r in records if r.get("free_choice")),
+        "errors": sum(1 for r in records if r.get("error") is not None),
+        "largest_net": max(
+            (int(r["places"]) + int(r["transitions"]) for r in records), default=0
+        ),
+        "analysis_ms_total": round(sum(elapsed), 3),
+        "analysis_ms_max": round(max(elapsed), 3) if elapsed else 0.0,
+    }
+
+
+def render_corpus_summary(summary: Mapping[str, Any]) -> str:
+    """Format a summary block as the aligned table the CLI prints."""
+    lines = [f"corpus: {summary['total']} nets"]
+    lines.append("  by family:")
+    for family, count in summary["by_family"].items():
+        lines.append(f"    {family:<24} {count:>4}")
+    if summary["by_class"]:
+        lines.append("  by class:")
+        for net_class, count in summary["by_class"].items():
+            lines.append(f"    {net_class:<24} {count:>4}")
+    lines.append("  properties (true / false / undecided):")
+    for prop, counts in summary["properties"].items():
+        lines.append(
+            f"    {prop:<24} {counts['true']:>4} / {counts['false']:>4} "
+            f"/ {counts['undecided']:>4}"
+        )
+    lines.append(
+        f"  free-choice nets: {summary['free_choice']}/{summary['total']}, "
+        f"errors: {summary['errors']}, largest net: {summary['largest_net']} nodes"
+    )
+    lines.append(
+        f"  analysis time: {summary['analysis_ms_total']:.1f} ms total, "
+        f"{summary['analysis_ms_max']:.1f} ms worst net"
+    )
+    return "\n".join(lines)

@@ -12,6 +12,8 @@ writing Python:
     $ repro-qss dot model.json -o model.dot        # Graphviz export
     $ repro-qss gallery figure4 -o fig4.json       # dump a paper figure net
     $ repro-qss atm-table1 --cells 50      # reproduce Table I
+    $ repro-qss corpus --n 200 --workers 4 --json corpus.json
+                                           # stress-analyse 200 generated nets
 
 Every subcommand returns a process exit code of 0 on success, 1 when the
 analysis reports a negative result (e.g. the net is not schedulable) and
@@ -31,7 +33,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .analysis import build_comparison
+from .analysis import build_comparison, render_corpus_summary
 from .apps.atm import MODULE_PARTITION, build_atm_server_net, make_testbench
 from .codegen import EmitOptions, emit_c, synthesize
 from .gallery import paper_figures
@@ -43,6 +45,13 @@ from .petrinet import (
     load_net,
     net_to_dot,
     save_net,
+)
+from .petrinet.corpus import (
+    CORPUS_FAMILIES,
+    corpus_to_csv,
+    corpus_to_json_dict,
+    generate_corpus,
+    run_corpus,
 )
 from .petrinet.exceptions import PetriNetError
 from .qss import analyse, partition_tasks
@@ -155,6 +164,47 @@ def cmd_atm_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_corpus(args: argparse.Namespace) -> int:
+    if args.list_families:
+        print("available families:", ", ".join(sorted(CORPUS_FAMILIES)))
+        return 0
+    families = args.families.split(",") if args.families else None
+    try:
+        specs = generate_corpus(args.n, seed=args.seed, families=families)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    result = run_corpus(
+        specs,
+        workers=args.workers,
+        max_markings=args.max_markings,
+        max_nodes=args.max_nodes,
+        engine=args.engine,
+    )
+    summary = corpus_to_json_dict(result)
+    if args.json:
+        import json
+
+        Path(args.json).write_text(
+            json.dumps(summary, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+    if args.csv:
+        corpus_to_csv(result, args.csv)
+    print(render_corpus_summary(summary["summary"]))
+    print(
+        f"analysed {len(result.records)} nets with {result.workers} worker(s) "
+        f"in {result.elapsed_seconds:.2f}s ({args.engine} engine)"
+    )
+    if result.errors:
+        for record in result.errors:
+            print(
+                f"error: {record.family} seed={record.seed}: {record.error}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
@@ -211,6 +261,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_flag(p_gallery)
     p_gallery.set_defaults(func=cmd_gallery)
+
+    p_corpus = sub.add_parser(
+        "corpus",
+        help="generate a corpus of nets and stress-analyse it in parallel",
+    )
+    p_corpus.add_argument(
+        "--n", type=int, default=50, help="number of nets to generate (default 50)"
+    )
+    p_corpus.add_argument("--seed", type=int, default=0, help="corpus seed")
+    p_corpus.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process pool size; 1 runs sequentially in-process",
+    )
+    p_corpus.add_argument(
+        "--families",
+        help="comma-separated family subset (default: all; see --list-families)",
+    )
+    p_corpus.add_argument(
+        "--list-families",
+        action="store_true",
+        help="print the registered generator families and exit",
+    )
+    p_corpus.add_argument("--json", help="write the JSON summary to this file")
+    p_corpus.add_argument("--csv", help="write one CSV row per net to this file")
+    p_corpus.add_argument(
+        "--max-markings",
+        type=int,
+        default=2_000,
+        help="reachability cap per net for deadlock/liveness checks",
+    )
+    p_corpus.add_argument(
+        "--max-nodes",
+        type=int,
+        default=2_500,
+        help="Karp-Miller node cap per net for the coverability check",
+    )
+    _add_engine_flag(p_corpus)
+    p_corpus.set_defaults(func=cmd_corpus)
 
     p_table1 = sub.add_parser("atm-table1", help="reproduce Table I on the ATM server")
     p_table1.add_argument("--cells", type=int, default=50)

@@ -9,6 +9,7 @@ by the per-figure benchmarks.
 
 from .figures import (
     analyse_figure,
+    gallery_nets,
     figure1a_free_choice,
     figure1b_not_free_choice,
     figure2_sdf_chain,
@@ -22,6 +23,7 @@ from .figures import (
 
 __all__ = [
     "analyse_figure",
+    "gallery_nets",
     "figure1a_free_choice",
     "figure1b_not_free_choice",
     "figure2_sdf_chain",

@@ -22,7 +22,7 @@ regenerated exactly:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
 
 from ..petrinet import ENGINE_COMPILED, NetBuilder, PetriNet
 
@@ -236,6 +236,16 @@ def paper_figures() -> Dict[str, Callable[[], PetriNet]]:
         "figure5": figure5_two_inputs,
         "figure7": figure7_unschedulable,
     }
+
+
+def gallery_nets() -> List[Tuple[str, PetriNet]]:
+    """All figure nets, instantiated, as ``(figure id, net)`` pairs.
+
+    The differential property tests and the scenario corpus both sweep
+    the whole gallery; this helper instantiates every constructor once,
+    in the stable key order of :func:`paper_figures`.
+    """
+    return [(figure, ctor()) for figure, ctor in paper_figures().items()]
 
 
 def analyse_figure(

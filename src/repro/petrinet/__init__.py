@@ -22,9 +22,24 @@ from .compiled import (
     ENGINE_COMPILED,
     ENGINE_LEGACY,
     ENGINES,
+    OMEGA,
     CompiledNet,
     compile_net,
     validate_engine,
+)
+from .corpus import (
+    CORPUS_FAMILIES,
+    CORPUS_SCHEMA,
+    CorpusFamily,
+    CorpusRecord,
+    CorpusResult,
+    NetSpec,
+    analyse_spec,
+    corpus_from_json_dict,
+    corpus_to_csv,
+    corpus_to_json_dict,
+    generate_corpus,
+    run_corpus,
 )
 from .exceptions import (
     DuplicateNodeError,
@@ -71,6 +86,7 @@ from .reachability import (
     is_live,
     is_reachable,
     is_safe,
+    live_verdict,
     place_bounds,
 )
 from .serialization import (
@@ -128,7 +144,21 @@ __all__ = [
     "ENGINES",
     "ENGINE_COMPILED",
     "ENGINE_LEGACY",
+    "OMEGA",
     "validate_engine",
+    # scenario corpus
+    "CORPUS_FAMILIES",
+    "CORPUS_SCHEMA",
+    "CorpusFamily",
+    "CorpusRecord",
+    "CorpusResult",
+    "NetSpec",
+    "analyse_spec",
+    "generate_corpus",
+    "run_corpus",
+    "corpus_to_json_dict",
+    "corpus_from_json_dict",
+    "corpus_to_csv",
     # exceptions
     "PetriNetError",
     "DuplicateNodeError",
@@ -197,6 +227,7 @@ __all__ = [
     "is_deadlock_free",
     "find_deadlocks",
     "is_live",
+    "live_verdict",
     "place_bounds",
     # serialization / export
     "net_to_dict",

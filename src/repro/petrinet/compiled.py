@@ -50,6 +50,13 @@ ENGINES = (ENGINE_COMPILED, ENGINE_LEGACY)
 #: A marking in compiled form: token counts indexed by place id.
 MarkingTuple = Tuple[int, ...]
 
+#: Sentinel token count representing "unbounded" (omega) in coverability
+#: vectors.  Kept negative so a plain ``>=`` comparison against an arc
+#: weight is never accidentally true for an omega component; every omega
+#: comparison must therefore go through the ``== OMEGA`` masks used by
+#: :meth:`CompiledNet.omega_enabled_mask` / :meth:`CompiledNet.omega_fire`.
+OMEGA = -1
+
 
 def validate_engine(engine: str) -> str:
     """Validate an ``engine=`` argument, returning it unchanged."""
@@ -412,6 +419,27 @@ class CompiledNet:
         namespace: Dict[str, object] = {}
         exec("\n".join(lines), namespace)  # noqa: S102 - generated from ints only
         return namespace["expand"]  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Omega (coverability) semantics over numpy token vectors
+    # ------------------------------------------------------------------
+    def omega_enabled_mask(self, vector: np.ndarray) -> np.ndarray:
+        """Vectorized enabledness of every transition in an omega-vector.
+
+        ``vector`` is an int64 array of shape ``(P,)`` whose components
+        are token counts or :data:`OMEGA`; an omega component satisfies
+        every preset weight.  Returns a boolean array of shape ``(T,)``.
+        """
+        return np.all((vector >= self.pre) | (vector == OMEGA), axis=1)
+
+    def omega_fire(self, transition: int, vector: np.ndarray) -> np.ndarray:
+        """Fire transition id ``transition`` under omega semantics.
+
+        Omega components absorb any finite delta (omega - w = omega + w =
+        omega); finite components follow the ordinary incidence row.  The
+        caller guarantees enabledness (see :meth:`omega_enabled_mask`).
+        """
+        return np.where(vector == OMEGA, OMEGA, vector + self.incidence[transition])
 
     def marking_after_counts(
         self, marking: Sequence[int], counts: Mapping[str, int]

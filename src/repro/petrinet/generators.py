@@ -154,6 +154,125 @@ def unschedulable_merge_net(name: Optional[str] = None) -> PetriNet:
     return builder.build()
 
 
+def producer_consumer_ring(
+    stations: int = 2, capacity: int = 2, name: Optional[str] = None
+) -> PetriNet:
+    """A producer/consumer chain with credit-based flow control.
+
+    Station ``i`` moves a token from buffer ``b{i-1}`` to buffer ``b{i}``
+    while consuming a credit from ``c{i}`` and returning one to
+    ``c{i-1}``; the producer only spends credits, the final consumer only
+    returns them.  Every credit place starts with ``capacity`` tokens,
+    so ``b{i} + c{i} = capacity`` is a P-invariant of every station —
+    the net is bounded by construction (and live, conflict-free and
+    schedulable), which makes the family a reference point for the
+    invariant-conservation and exact-bound property tests.
+    """
+    if stations < 1:
+        raise ValueError("need at least one station")
+    if capacity < 1:
+        raise ValueError("capacity must be positive")
+    builder = NetBuilder(name or f"producer_consumer_{stations}x{capacity}")
+    for i in range(stations):
+        builder.place(f"b{i}", tokens=0)
+        builder.place(f"c{i}", tokens=capacity)
+    # producer: spend a credit, emit into the first buffer
+    builder.arc("c0", "t_prod").arc("t_prod", "b0")
+    for i in range(1, stations):
+        mover = f"t_move{i}"
+        builder.arc(f"b{i - 1}", mover).arc(mover, f"b{i}")
+        builder.arc(f"c{i}", mover).arc(mover, f"c{i - 1}")
+    # consumer: drain the last buffer, return its credit
+    builder.arc(f"b{stations - 1}", "t_cons").arc("t_cons", f"c{stations - 1}")
+    return builder.build()
+
+
+def fork_join_pipeline(
+    branches: int = 3,
+    depth: int = 2,
+    closed: bool = False,
+    name: Optional[str] = None,
+) -> PetriNet:
+    """A fork/join of ``branches`` parallel chains of length ``depth``.
+
+    ``t_fork`` emits one token into every branch; each branch is a chain
+    of ``depth`` transitions; ``t_join`` synchronizes all branches.  The
+    net is a marked graph (no choices), so it has exactly one
+    T-reduction and is schedulable.  With ``closed=False`` a source
+    transition feeds the fork (the open, unbounded variant); with
+    ``closed=True`` the join output loops back to the fork input with one
+    initial token, giving a strongly connected, bounded, live net.
+    """
+    if branches < 2:
+        raise ValueError("a fork needs at least two branches")
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    builder = NetBuilder(
+        name
+        or f"fork_join_{branches}x{depth}{'_closed' if closed else ''}"
+    )
+    if closed:
+        builder.place("p_in", tokens=1)
+    else:
+        builder.source("t_src").arc("t_src", "p_in")
+    builder.arc("p_in", "t_fork")
+    for b in range(branches):
+        previous = None
+        for k in range(depth):
+            place = f"p_{b}_{k}"
+            builder.arc("t_fork" if previous is None else previous, place)
+            transition = f"t_{b}_{k}"
+            builder.arc(place, transition)
+            previous = transition
+        builder.arc(previous, f"p_{b}_join")
+        builder.arc(f"p_{b}_join", "t_join")
+    if closed:
+        builder.arc("t_join", "p_in")
+    else:
+        builder.arc("t_join", "p_out").arc("p_out", "t_sink")
+    return builder.build()
+
+
+def unbalanced_choice_net(
+    seed: int,
+    branches: int = 2,
+    max_weight: int = 4,
+    merge: bool = False,
+    name: Optional[str] = None,
+) -> PetriNet:
+    """A choice whose branches carry unbalanced production/consumption rates.
+
+    Branch ``i`` produces ``w_prod`` tokens per firing into its place
+    while the branch consumer drains ``w_cons`` per firing, with the two
+    weights drawn independently (and usually unequal, hence
+    "unbalanced").  Each branch is still rationally balanced, so with
+    ``merge=False`` the net is schedulable multirate.  With
+    ``merge=True`` every branch additionally feeds a shared ``t_merge``
+    that needs a token from *all* branches — the weighted generalization
+    of the Figure 3b synchronizing choice, which is unbounded under an
+    adversarial choice policy and not quasi-statically schedulable.
+    """
+    if branches < 2:
+        raise ValueError("a choice needs at least two branches")
+    if max_weight < 1:
+        raise ValueError("max_weight must be positive")
+    rng = random.Random(seed)
+    builder = NetBuilder(
+        name or f"unbalanced_choice_{seed}_{branches}{'_merge' if merge else ''}"
+    )
+    builder.source("t_in").arc("t_in", "p_choice")
+    for i in range(branches):
+        w_prod = rng.randint(1, max_weight)
+        w_cons = rng.randint(1, max_weight)
+        builder.arc("p_choice", f"t_b{i}")
+        builder.arc(f"t_b{i}", f"p_b{i}", weight=w_prod)
+        builder.arc(f"p_b{i}", f"t_e{i}", weight=w_cons)
+        if merge:
+            builder.arc(f"t_e{i}", f"p_m{i}")
+            builder.arc(f"p_m{i}", "t_merge")
+    return builder.build()
+
+
 def random_free_choice_net(
     seed: int,
     n_choices: int = 3,

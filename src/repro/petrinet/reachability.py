@@ -23,12 +23,17 @@ from dataclasses import dataclass, field
 from itertools import compress
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple, Union
 
-from .compiled import ENGINE_COMPILED, ENGINE_LEGACY, CompiledNet, validate_engine
+import numpy as np
+
+from .compiled import (
+    ENGINE_COMPILED,
+    ENGINE_LEGACY,
+    OMEGA,
+    CompiledNet,
+    validate_engine,
+)
 from .marking import Marking
 from .net import PetriNet
-
-#: Sentinel token count representing "unbounded" in coverability analysis.
-OMEGA = -1
 
 
 @dataclass
@@ -227,12 +232,19 @@ class CoverabilityResult:
     ``unbounded_places`` lists the places that can accumulate an
     unbounded number of tokens under *some* firing sequence; the net is
     bounded iff this list is empty.
+
+    ``complete`` is False when the construction stopped at the
+    ``max_nodes`` cap.  Places already accelerated to omega are
+    genuinely unbounded regardless, but a truncated run may have missed
+    further unbounded places — so ``bounded=True`` is only a proof when
+    ``complete`` is also True.
     """
 
     bounded: bool
     unbounded_places: List[str]
     node_count: int
     place_bounds: Dict[str, int]
+    complete: bool = True
 
 
 def _omega_add(a: int, b: int) -> int:
@@ -251,26 +263,47 @@ def _covers(big: Tuple[int, ...], small: Tuple[int, ...]) -> bool:
 
 
 def coverability_analysis(
-    net: PetriNet, marking: Optional[Marking] = None, max_nodes: int = 200_000
+    net: Union[PetriNet, CompiledNet],
+    marking: Optional[Marking] = None,
+    max_nodes: int = 200_000,
+    engine: str = ENGINE_COMPILED,
 ) -> CoverabilityResult:
     """Karp–Miller coverability tree with omega acceleration.
 
     Whenever a new node strictly covers one of its ancestors, the strictly
     larger components are accelerated to omega, which makes the tree
     finite and identifies exactly the places that can grow without bound.
+
+    ``engine`` selects the execution core: ``"compiled"`` (default) runs
+    on numpy omega-vectors over the net's integer place ids,
+    ``"legacy"`` on the original name-keyed token game.  Both engines
+    expand the same nodes in the same depth-first order (Karp–Miller
+    trees are sensitive to exploration order), so the results —
+    boundedness, unbounded places, node count and place bounds — are
+    identical and cross-checkable.
     """
+    validate_engine(engine)
+    if isinstance(net, CompiledNet):
+        if engine == ENGINE_LEGACY:
+            raise ValueError(
+                "engine='legacy' needs a PetriNet; pass net.decompile() to "
+                "run the dict-based coverability on a compiled net"
+            )
+        return _coverability_analysis_compiled(net, marking, max_nodes)
+    if engine == ENGINE_COMPILED:
+        return _coverability_analysis_compiled(net.compile(), marking, max_nodes)
     places = tuple(net.place_names)
     start_marking = marking if marking is not None else net.initial_marking
     start = tuple(start_marking[p] for p in places)
 
+    place_index = {p: i for i, p in enumerate(places)}
+
     def enabled(vector: Tuple[int, ...], transition: str) -> bool:
         for place, weight in net.preset(transition).items():
-            value = vector[places.index(place)]
+            value = vector[place_index[place]]
             if value != OMEGA and value < weight:
                 return False
         return True
-
-    place_index = {p: i for i, p in enumerate(places)}
 
     def fire(vector: Tuple[int, ...], transition: str) -> Tuple[int, ...]:
         result = list(vector)
@@ -321,6 +354,7 @@ def coverability_analysis(
                         unbounded_places=sorted(unbounded),
                         node_count=node_count,
                         place_bounds=bounds,
+                        complete=False,
                     )
                 seen.add(successor_t)
                 node_count += 1
@@ -333,23 +367,155 @@ def coverability_analysis(
     )
 
 
-def is_bounded(net: PetriNet, marking: Optional[Marking] = None) -> bool:
-    """True if no place can accumulate an unbounded number of tokens."""
-    return coverability_analysis(net, marking=marking).bounded
+def _coverability_analysis_compiled(
+    compiled: CompiledNet, marking: Optional[Marking], max_nodes: int
+) -> CoverabilityResult:
+    """Karp–Miller on numpy omega-vectors indexed by compiled place ids.
+
+    The traversal mirrors the legacy engine move for move — same DFS
+    stack discipline, same transition order (insertion order), same
+    root-to-parent acceleration sweep — so both engines build the same
+    tree node for node; only the per-node work is vectorized:
+    enabledness of all transitions in one ``(T, P)`` comparison
+    (:meth:`CompiledNet.omega_enabled_mask`), firing via the incidence
+    row (:meth:`CompiledNet.omega_fire`) and the cover/acceleration
+    tests as whole-vector masks.
+    """
+    places = compiled.places
+    start = np.array(
+        compiled.marking_to_tuple(marking) if marking is not None else compiled.initial,
+        dtype=np.int64,
+    )
+    enabled_mask = compiled.omega_enabled_mask
+    omega_fire = compiled.omega_fire
+
+    seen: Set[bytes] = {start.tobytes()}
+    # Each stack entry carries the node and its ancestor chain (root
+    # first) for the acceleration test.
+    stack: List[Tuple[np.ndarray, Tuple[np.ndarray, ...]]] = [(start, ())]
+    unbounded = np.zeros(len(places), dtype=bool)
+    bounds = start.copy()
+    node_count = 1
+
+    def result(complete: bool) -> CoverabilityResult:
+        return CoverabilityResult(
+            bounded=not bool(unbounded.any()),
+            unbounded_places=sorted(compress(places, unbounded)),
+            node_count=node_count,
+            place_bounds={p: int(bounds[i]) for i, p in enumerate(places)},
+            complete=complete,
+        )
+
+    while stack:
+        vector, ancestors = stack.pop()
+        # The ancestor chain (root first, current node last) as one
+        # (depth, P) matrix, so the per-ancestor acceleration sweep of the
+        # legacy engine becomes a whole-chain vectorized test.
+        chain_matrix = np.vstack(ancestors + (vector,))
+        chain_omega = chain_matrix == OMEGA
+        chain_finite = ~chain_omega
+        for transition in np.flatnonzero(enabled_mask(vector)):
+            successor = omega_fire(transition, vector)
+            # Omega acceleration, equivalent to the legacy root-to-parent
+            # sweep: an ancestor only changes the successor when it is
+            # covered AND some finite component strictly grew (equal or
+            # omega-for-omega covers mutate nothing), so it suffices to
+            # jump straight to the first such ancestor, accelerate, and
+            # re-scan the remaining suffix with the updated successor —
+            # at most P accelerations per successor, each one vectorized
+            # matrix pass instead of O(depth) scalar cover tests.
+            position = 0
+            depth = chain_matrix.shape[0]
+            while position < depth:
+                sub_matrix = chain_matrix[position:]
+                sub_omega = chain_omega[position:]
+                sub_finite = chain_finite[position:]
+                succ_omega = successor == OMEGA
+                covers = np.all(
+                    np.where(
+                        sub_omega, succ_omega, succ_omega | (successor >= sub_matrix)
+                    ),
+                    axis=1,
+                )
+                growth = sub_finite & ~succ_omega & (successor > sub_matrix)
+                accelerating = covers & growth.any(axis=1)
+                if not accelerating.any():
+                    break
+                first = int(np.argmax(accelerating))
+                successor = np.where(growth[first], OMEGA, successor)
+                position += first + 1
+            succ_omega = successor == OMEGA
+            unbounded |= succ_omega
+            np.maximum(bounds, np.where(succ_omega, bounds, successor), out=bounds)
+            key = successor.tobytes()
+            if key not in seen:
+                if node_count >= max_nodes:
+                    # conservative: report what has been found so far
+                    return result(complete=False)
+                seen.add(key)
+                node_count += 1
+                stack.append((successor, ancestors + (vector,)))
+    return result(complete=True)
 
 
-def is_k_bounded(net: PetriNet, k: int, marking: Optional[Marking] = None) -> bool:
-    """True if no reachable marking puts more than ``k`` tokens in a place."""
-    result = coverability_analysis(net, marking=marking)
-    if not result.bounded:
+def is_bounded(
+    net: Union[PetriNet, CompiledNet],
+    marking: Optional[Marking] = None,
+    engine: str = ENGINE_COMPILED,
+) -> bool:
+    """True if no place can accumulate an unbounded number of tokens.
+
+    Raises ``RuntimeError`` when the Karp–Miller construction was
+    truncated before reaching a verdict: a truncated run that found
+    omega places still proves unboundedness, but "no omega seen yet" is
+    not a boundedness proof and is refused rather than guessed.
+    """
+    result = coverability_analysis(net, marking=marking, engine=engine)
+    if result.unbounded_places:
         return False
-    return all(bound <= k for bound in result.place_bounds.values())
+    if result.complete:
+        return True
+    raise RuntimeError(
+        "boundedness undecided: the Karp-Miller construction hit its node "
+        "cap before finding an omega place or finishing"
+    )
 
 
-def is_safe(net: PetriNet, marking: Optional[Marking] = None) -> bool:
+def is_k_bounded(
+    net: Union[PetriNet, CompiledNet],
+    k: int,
+    marking: Optional[Marking] = None,
+    engine: str = ENGINE_COMPILED,
+) -> bool:
+    """True if no reachable marking puts more than ``k`` tokens in a place.
+
+    Like :func:`is_bounded`, raises ``RuntimeError`` when a truncated
+    construction cannot decide; negative verdicts (an omega place, or an
+    observed bound above ``k``) are sound even from a truncated run.
+    """
+    result = coverability_analysis(net, marking=marking, engine=engine)
+    if result.unbounded_places:
+        return False
+    if any(bound > k for bound in result.place_bounds.values()):
+        # coverability-tree token counts are reachable, so exceeding k is
+        # definitive regardless of truncation
+        return False
+    if result.complete:
+        return True
+    raise RuntimeError(
+        f"{k}-boundedness undecided: the Karp-Miller construction hit its "
+        "node cap before finishing"
+    )
+
+
+def is_safe(
+    net: Union[PetriNet, CompiledNet],
+    marking: Optional[Marking] = None,
+    engine: str = ENGINE_COMPILED,
+) -> bool:
     """True if the net is 1-bounded (the assumption of Lin's method that
     the paper explicitly drops)."""
-    return is_k_bounded(net, 1, marking=marking)
+    return is_k_bounded(net, 1, marking=marking, engine=engine)
 
 
 # ----------------------------------------------------------------------
@@ -380,58 +546,146 @@ def is_deadlock_free(
     )
 
 
+def _strongly_connected_components(
+    n: int, successors: List[List[int]]
+) -> List[int]:
+    """Iterative Tarjan SCC: returns the component id of every node.
+
+    Component ids are assigned in reverse topological order of the
+    condensation (a component's id is larger than those of the
+    components it can reach), although :func:`is_live` only needs the
+    partition itself.
+    """
+    index = [-1] * n
+    lowlink = [0] * n
+    on_stack = [False] * n
+    component = [-1] * n
+    scc_stack: List[int] = []
+    counter = 0
+    n_components = 0
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        # explicit DFS stack of (node, next child position)
+        work = [(root, 0)]
+        while work:
+            node, child = work[-1]
+            if child == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                scc_stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            while child < len(successors[node]):
+                succ = successors[node][child]
+                child += 1
+                if index[succ] == -1:
+                    work[-1] = (node, child)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if on_stack[succ]:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                while True:
+                    member = scc_stack.pop()
+                    on_stack[member] = False
+                    component[member] = n_components
+                    if member == node:
+                        break
+                n_components += 1
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return component
+
+
 def is_live(
-    net: PetriNet,
+    net: Union[PetriNet, CompiledNet],
     marking: Optional[Marking] = None,
     max_markings: int = 100_000,
     engine: str = ENGINE_COMPILED,
 ) -> bool:
     """True if from every reachable marking every transition can eventually
-    fire again (exact for nets whose reachability graph fits in the limit)."""
+    fire again (exact for nets whose reachability graph fits in the limit).
+
+    The verdict is computed on the condensation of the reachability
+    graph: the net is live iff every *terminal* strongly connected
+    component (one with no outgoing edge) fires every transition
+    internally.  From any marking some terminal component is reachable,
+    and once inside one the forward closure is exactly that component —
+    so the terminal components are where liveness is decided.  This is
+    O(V + E) instead of the quadratic per-marking forward closures.
+    """
     graph = build_reachability_graph(
         net, max_markings=max_markings, marking=marking, engine=engine
     )
+    if isinstance(net, CompiledNet):
+        all_transitions = set(net.transitions)
+    else:
+        all_transitions = set(net.transition_names)
+    return live_verdict(graph, all_transitions)
+
+
+def live_verdict(graph: ReachabilityGraph, all_transitions: Set[str]) -> bool:
+    """The liveness verdict on an already-built complete reachability graph.
+
+    Exposed so pipelines that already hold the graph (e.g. the scenario
+    corpus, which needs deadlocks *and* liveness from the same
+    exploration) do not pay for a second exploration through
+    :func:`is_live`.  Raises ``RuntimeError`` on incomplete graphs.
+    """
     if not graph.complete:
         raise RuntimeError(
             "liveness is only decided exactly on nets whose reachability "
             "graph fits within the exploration limit"
         )
     n = len(graph.markings)
-    successors: Dict[int, List[Tuple[str, int]]] = {i: [] for i in range(n)}
+    successors: List[List[int]] = [[] for _ in range(n)]
+    for src, _, dst in graph.edges:
+        successors[src].append(dst)
+    component = _strongly_connected_components(n, successors)
+    n_components = max(component) + 1 if component else 0
+    has_exit = [False] * n_components
+    internal: List[Set[str]] = [set() for _ in range(n_components)]
     for src, transition, dst in graph.edges:
-        successors[src].append((transition, dst))
-
-    # For each marking, the set of transitions fireable somewhere in its forward closure.
-    all_transitions = set(net.transition_names)
-    for start in range(n):
-        fireable: Set[str] = set()
-        seen = {start}
-        queue = deque([start])
-        while queue:
-            node = queue.popleft()
-            for transition, dst in successors[node]:
-                fireable.add(transition)
-                if dst not in seen:
-                    seen.add(dst)
-                    queue.append(dst)
-            if fireable == all_transitions:
-                break
-        if fireable != all_transitions:
-            return False
-    return True
+        if component[src] == component[dst]:
+            internal[component[src]].add(transition)
+        else:
+            has_exit[component[src]] = True
+    return all(
+        internal[c] == all_transitions
+        for c in range(n_components)
+        if not has_exit[c]
+    )
 
 
 def place_bounds(
-    net: PetriNet, marking: Optional[Marking] = None
+    net: Union[PetriNet, CompiledNet],
+    marking: Optional[Marking] = None,
+    engine: str = ENGINE_COMPILED,
 ) -> Dict[str, Optional[int]]:
     """Per-place token bound, ``None`` meaning unbounded.
 
     For schedulable nets these bounds are what static buffer allocation
-    in the generated C code relies upon.
+    in the generated C code relies upon.  ``engine`` selects the
+    coverability core the bounds are read from.
     """
-    result = coverability_analysis(net, marking=marking)
+    result = coverability_analysis(net, marking=marking, engine=engine)
+    if not result.complete:
+        # these bounds size static buffers in the generated C code, so an
+        # observed-so-far maximum from a truncated construction must never
+        # masquerade as a real bound
+        raise RuntimeError(
+            "place bounds undecided: the Karp-Miller construction hit its "
+            "node cap; only a finished construction yields exact bounds"
+        )
+    places = net.places if isinstance(net, CompiledNet) else net.place_names
     bounds: Dict[str, Optional[int]] = {}
-    for place in net.place_names:
+    for place in places:
         if place in result.unbounded_places:
             bounds[place] = None
         else:

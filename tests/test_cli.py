@@ -9,6 +9,12 @@ import pytest
 from repro.cli import main
 from repro.gallery import figure3a_schedulable, figure7_unschedulable
 from repro.petrinet import save_net
+from repro.petrinet.corpus import (
+    CORPUS_SCHEMA,
+    RECORD_FIELDS,
+    corpus_from_json_dict,
+    corpus_to_json_dict,
+)
 
 
 @pytest.fixture
@@ -96,3 +102,84 @@ class TestGalleryAndTable:
         out = capsys.readouterr().out
         assert "Number of tasks" in out
         assert "clock-cycle ratio" in out
+
+
+class TestCorpus:
+    def test_small_parallel_corpus_writes_valid_json(self, tmp_path, capsys):
+        json_path = tmp_path / "corpus.json"
+        assert (
+            main(
+                [
+                    "corpus",
+                    "--n",
+                    "8",
+                    "--workers",
+                    "2",
+                    "--seed",
+                    "3",
+                    "--json",
+                    str(json_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "corpus: 8 nets" in out
+        assert "2 worker(s)" in out
+
+        data = json.loads(json_path.read_text())
+        assert data["schema"] == CORPUS_SCHEMA
+        assert data["n"] == 8
+        assert data["workers"] == 2
+        assert len(data["records"]) == 8
+        for record in data["records"]:
+            assert set(record) == set(RECORD_FIELDS)
+            assert record["places"] > 0 and record["transitions"] > 0
+            assert record["error"] is None
+        assert data["summary"]["total"] == 8
+        assert data["summary"]["errors"] == 0
+
+    def test_json_summary_round_trips(self, tmp_path):
+        json_path = tmp_path / "corpus.json"
+        assert main(["corpus", "--n", "8", "--workers", "2", "--seed", "3",
+                     "--json", str(json_path)]) == 0
+        data = json.loads(json_path.read_text())
+        rebuilt = corpus_to_json_dict(corpus_from_json_dict(data))
+        # elapsed_seconds is a stored field, not recomputed, so the whole
+        # document must survive the dict -> CorpusResult -> dict cycle
+        assert rebuilt == data
+
+    def test_corpus_csv_row_per_net(self, tmp_path, capsys):
+        csv_path = tmp_path / "corpus.csv"
+        assert main(["corpus", "--n", "5", "--seed", "1", "--csv", str(csv_path)]) == 0
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].split(",")[:3] == ["family", "seed", "params"]
+        assert len(lines) == 6  # header + one row per net
+
+    def test_corpus_list_families(self, capsys):
+        assert main(["corpus", "--list-families"]) == 0
+        out = capsys.readouterr().out
+        assert "producer_consumer_ring" in out
+        assert "gallery" in out
+
+    def test_corpus_unknown_family_is_usage_error(self, capsys):
+        assert main(["corpus", "--n", "4", "--families", "nope"]) == 2
+        assert "unknown corpus families" in capsys.readouterr().err
+
+    def test_corpus_family_subset_and_engine(self, capsys):
+        assert (
+            main(
+                [
+                    "corpus",
+                    "--n",
+                    "4",
+                    "--families",
+                    "producer_consumer_ring,random_marked_graph",
+                    "--engine",
+                    "legacy",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "legacy engine" in out
