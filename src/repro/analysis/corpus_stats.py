@@ -47,6 +47,17 @@ def summarize_corpus(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
     by_family = Counter(record["family"] for record in records)
     by_class = Counter(record["net_class"] for record in records if record["net_class"])
     elapsed = [float(record["elapsed_ms"]) for record in records]
+    allocations = [
+        int(r["allocations"]) for r in records if r.get("allocations") is not None
+    ]
+    reductions = [
+        int(r["reductions"]) for r in records if r.get("reductions") is not None
+    ]
+    cycle_lengths = [
+        int(length)
+        for r in records
+        for length in (r.get("cycle_lengths") or ())
+    ]
     return {
         "total": len(records),
         "by_family": dict(sorted(by_family.items())),
@@ -62,6 +73,20 @@ def summarize_corpus(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
         "largest_net": max(
             (int(r["places"]) + int(r["transitions"]) for r in records), default=0
         ),
+        "qss": {
+            "swept": len(reductions),
+            "allocations_total": sum(allocations),
+            "allocations_max": max(allocations, default=0),
+            "reductions_total": sum(reductions),
+            "reductions_max": max(reductions, default=0),
+            "cycles_total": len(cycle_lengths),
+            "cycle_length_max": max(cycle_lengths, default=0),
+            "cycle_length_mean": (
+                round(sum(cycle_lengths) / len(cycle_lengths), 3)
+                if cycle_lengths
+                else 0.0
+            ),
+        },
         "analysis_ms_total": round(sum(elapsed), 3),
         "analysis_ms_max": round(max(elapsed), 3) if elapsed else 0.0,
     }
@@ -87,6 +112,17 @@ def render_corpus_summary(summary: Mapping[str, Any]) -> str:
         f"  free-choice nets: {summary['free_choice']}/{summary['total']}, "
         f"errors: {summary['errors']}, largest net: {summary['largest_net']} nodes"
     )
+    qss = summary.get("qss")
+    if qss and qss.get("swept"):
+        lines.append(
+            f"  qss sweep: {qss['swept']} nets, "
+            f"{qss['allocations_total']} allocations "
+            f"(max {qss['allocations_max']}), "
+            f"{qss['reductions_total']} reductions "
+            f"(max {qss['reductions_max']}), "
+            f"cycle length max {qss['cycle_length_max']} "
+            f"mean {qss['cycle_length_mean']:.1f}"
+        )
     lines.append(
         f"  analysis time: {summary['analysis_ms_total']:.1f} ms total, "
         f"{summary['analysis_ms_max']:.1f} ms worst net"

@@ -14,6 +14,8 @@ writing Python:
     $ repro-qss atm-table1 --cells 50      # reproduce Table I
     $ repro-qss corpus --n 200 --workers 4 --json corpus.json
                                            # stress-analyse 200 generated nets
+    $ repro-qss corpus --n 200 --workers 4 --analyse qss --csv sweep.csv
+                                           # parallel schedulability sweep
 
 Every subcommand returns a process exit code of 0 on success, 1 when the
 analysis reports a negative result (e.g. the net is not schedulable) and
@@ -47,6 +49,7 @@ from .petrinet import (
     save_net,
 )
 from .petrinet.corpus import (
+    CORPUS_ANALYSES,
     CORPUS_FAMILIES,
     corpus_to_csv,
     corpus_to_json_dict,
@@ -83,7 +86,12 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 def cmd_analyse(args: argparse.Namespace) -> int:
     net = _load(args.net)
-    report = analyse(net, engine=args.engine)
+    report = analyse(
+        net,
+        engine=args.engine,
+        fail_fast=args.fail_fast,
+        workers=args.workers,
+    )
     print(report.explain())
     if report.schedulable and report.schedule is not None:
         if args.show_schedule:
@@ -180,6 +188,7 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         max_markings=args.max_markings,
         max_nodes=args.max_nodes,
         engine=args.engine,
+        analyse=args.analyse,
     )
     summary = corpus_to_json_dict(result)
     if args.json:
@@ -193,7 +202,8 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     print(render_corpus_summary(summary["summary"]))
     print(
         f"analysed {len(result.records)} nets with {result.workers} worker(s) "
-        f"in {result.elapsed_seconds:.2f}s ({args.engine} engine)"
+        f"in {result.elapsed_seconds:.2f}s "
+        f"({args.engine} engine, {args.analyse} mode)"
     )
     if result.errors:
         for record in result.errors:
@@ -230,6 +240,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyse.add_argument("net")
     p_analyse.add_argument(
         "--show-schedule", action="store_true", help="print every finite complete cycle"
+    )
+    p_analyse.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop at the first unschedulable T-reduction "
+        "(the report shows the partial verdicts)",
+    )
+    p_analyse.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process pool size for the per-reduction checks; "
+        "1 runs sequentially in-process",
     )
     _add_engine_flag(p_analyse)
     p_analyse.set_defaults(func=cmd_analyse)
@@ -284,6 +307,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-families",
         action="store_true",
         help="print the registered generator families and exit",
+    )
+    p_corpus.add_argument(
+        "--analyse",
+        choices=CORPUS_ANALYSES,
+        default="properties",
+        help="analysis per net: the full property pipeline (default) or "
+        "the QSS schedulability sweep (verdict, allocation/reduction "
+        "counts, cycle lengths)",
     )
     p_corpus.add_argument("--json", help="write the JSON summary to this file")
     p_corpus.add_argument("--csv", help="write one CSV row per net to this file")

@@ -28,6 +28,7 @@ from .compiled import (
     validate_engine,
 )
 from .corpus import (
+    CORPUS_ANALYSES,
     CORPUS_FAMILIES,
     CORPUS_SCHEMA,
     CorpusFamily,
@@ -40,6 +41,7 @@ from .corpus import (
     corpus_to_json_dict,
     generate_corpus,
     run_corpus,
+    validate_corpus_analyse,
 )
 from .exceptions import (
     DuplicateNodeError,
@@ -63,6 +65,7 @@ from .incidence import (
 )
 from .invariants import (
     combine_invariants,
+    fast_minimal_semiflows,
     invariants_containing,
     is_conservative,
     is_consistent,
@@ -109,6 +112,7 @@ from .simulation import (
     make_adversarial_policy,
     make_random_policy,
     policy_first_enabled,
+    search_firing_order,
     simulate_many,
 )
 from .structure import (
@@ -147,8 +151,10 @@ __all__ = [
     "OMEGA",
     "validate_engine",
     # scenario corpus
+    "CORPUS_ANALYSES",
     "CORPUS_FAMILIES",
     "CORPUS_SCHEMA",
+    "validate_corpus_analyse",
     "CorpusFamily",
     "CorpusRecord",
     "CorpusResult",
@@ -195,6 +201,7 @@ __all__ = [
     "marking_change",
     "t_invariants",
     "s_invariants",
+    "fast_minimal_semiflows",
     "is_consistent",
     "is_conservative",
     "uncovered_transitions",
@@ -212,6 +219,7 @@ __all__ = [
     "is_finite_complete_cycle",
     "find_firing_sequence",
     "find_finite_complete_cycle",
+    "search_firing_order",
     "policy_first_enabled",
     "make_random_policy",
     "make_adversarial_policy",

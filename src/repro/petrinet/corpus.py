@@ -14,13 +14,25 @@ its nets from the compact :class:`NetSpec` (cheaper and more robust than
 pickling nets) and keeps a per-process cache of compiled views so every
 property check of a net shares one :class:`CompiledNet`.
 
-JSON schema (``schema`` = ``repro-qss.corpus/1``)::
+Two analysis modes are offered (the ``analyse`` argument / CLI flag):
+
+* ``"properties"`` (default) — the full property pipeline: net class,
+  boundedness via Karp–Miller coverability, deadlocks, liveness, place
+  bounds and QSS schedulability.
+* ``"qss"`` — the schedulability sweep: only the structural summary plus
+  the full mask-based QSS analysis per free-choice net (schedulable
+  verdict, T-allocation and T-reduction counts, finite-complete-cycle
+  lengths), skipping the reachability/coverability passes so large
+  sweeps stay cheap.
+
+JSON schema (``schema`` = ``repro-qss.corpus/2``)::
 
     {
-      "schema": "repro-qss.corpus/1",
+      "schema": "repro-qss.corpus/2",
       "n": <number of records>,
       "workers": <pool size used>,
       "engine": "compiled" | "legacy",
+      "analyse": "properties" | "qss",
       "elapsed_seconds": <wall-clock of the whole run>,
       "records": [
         {
@@ -37,13 +49,19 @@ JSON schema (``schema`` = ``repro-qss.corpus/1``)::
           "deadlocks": int | null, "deadlock_free": bool | null,
           "live": bool | null,                  # null when undecidable within the cap
           "schedulable": bool | null,           # null for non-free-choice nets
-          "reductions": int | null,
+          "allocations": int | null,            # T-allocation count (product of choice out-degrees)
+          "reductions": int | null,             # distinct T-reduction count
+          "cycle_lengths": [int] | null,        # per-reduction finite-complete-cycle lengths
           "error": str | null,                  # analysis exception, if any
           "elapsed_ms": float
         }, ...
       ],
       "summary": <aggregates from repro.analysis.corpus_stats.summarize_corpus>
     }
+
+In ``"qss"`` mode the coverability/reachability fields keep their
+defaults (``null`` / 0 / false); in ``"properties"`` mode every field is
+filled, including the QSS sweep columns (the report is computed anyway).
 """
 
 from __future__ import annotations
@@ -80,7 +98,22 @@ from .generators import (
 from .net import PetriNet
 
 #: Version tag of the JSON summary documented in the module docstring.
-CORPUS_SCHEMA = "repro-qss.corpus/1"
+#: Bumped to /2 when the schedulability sweep columns (``allocations``,
+#: ``cycle_lengths``) and the top-level ``analyse`` mode were added.
+CORPUS_SCHEMA = "repro-qss.corpus/2"
+
+#: The analysis modes accepted by :func:`analyse_spec` / :func:`run_corpus`.
+CORPUS_ANALYSES = ("properties", "qss")
+
+
+def validate_corpus_analyse(analyse: str) -> str:
+    """Validate an ``analyse=`` mode argument, returning it unchanged."""
+    if analyse not in CORPUS_ANALYSES:
+        raise ValueError(
+            f"unknown corpus analysis mode {analyse!r}; expected one of "
+            f"{', '.join(CORPUS_ANALYSES)}"
+        )
+    return analyse
 
 
 # ----------------------------------------------------------------------
@@ -314,7 +347,9 @@ RECORD_FIELDS = (
     "deadlock_free",
     "live",
     "schedulable",
+    "allocations",
     "reductions",
+    "cycle_lengths",
     "error",
     "elapsed_ms",
 )
@@ -344,7 +379,9 @@ class CorpusRecord:
     deadlock_free: Optional[bool] = None
     live: Optional[bool] = None
     schedulable: Optional[bool] = None
+    allocations: Optional[int] = None
     reductions: Optional[int] = None
+    cycle_lengths: Optional[List[int]] = None
     error: Optional[str] = None
     elapsed_ms: float = 0.0
 
@@ -400,8 +437,14 @@ def analyse_spec(
     max_markings: int = 2_000,
     max_nodes: int = 2_500,
     engine: str = ENGINE_COMPILED,
+    analyse: str = "properties",
 ) -> CorpusRecord:
-    """Run the full property pipeline on one spec.
+    """Run the requested analysis pipeline on one spec.
+
+    ``analyse="properties"`` (default) runs the full property pipeline;
+    ``analyse="qss"`` runs only the structural summary plus the QSS
+    schedulability sweep (verdict, allocation/reduction counts, cycle
+    lengths), skipping the coverability/reachability passes.
 
     Caps keep every net affordable: coverability stops after
     ``max_nodes`` Karp–Miller nodes, reachability-based checks
@@ -410,7 +453,7 @@ def analyse_spec(
     guessed.  Analysis exceptions are captured in ``error`` so one
     degenerate net cannot sink a whole corpus run.
     """
-    from ..qss import analyse  # local import: qss imports petrinet
+    from ..qss import analyse as qss_analyse  # local import: qss imports petrinet
     from .exceptions import PetriNetError
     from .reachability import (
         build_reachability_graph,
@@ -420,11 +463,11 @@ def analyse_spec(
     from .structure import classify, is_free_choice
 
     validate_engine(engine)
+    validate_corpus_analyse(analyse)
     started = time.perf_counter()
     record = CorpusRecord(family=spec.family, seed=spec.seed, params=spec.param_dict)
     try:
         net = _cached_net(spec)
-        analysed: Any = _cached_compiled(spec) if engine == ENGINE_COMPILED else net
         record.net_name = net.name
         record.places = len(net.places)
         record.transitions = len(net.transitions)
@@ -432,42 +475,50 @@ def analyse_spec(
         record.net_class = classify(net)
         record.free_choice = is_free_choice(net)
 
-        coverability = coverability_analysis(
-            analysed, max_nodes=max_nodes, engine=engine
-        )
-        record.unbounded_places = list(coverability.unbounded_places)
-        record.coverability_nodes = coverability.node_count
-        record.coverability_complete = coverability.complete
-        if coverability.unbounded_places:
-            # omega places are unbounded regardless of the cap
-            record.bounded = False
-        elif coverability.complete:
-            record.bounded = True
-        # else: truncated run with no omega found — undecided (None)
-        if coverability.complete:
-            # only a finished construction yields exact finite bounds
-            finite = [
-                bound
-                for place, bound in coverability.place_bounds.items()
-                if place not in coverability.unbounded_places
-            ]
-            record.max_place_bound = max(finite) if finite else None
+        if analyse == "properties":
+            analysed: Any = (
+                _cached_compiled(spec) if engine == ENGINE_COMPILED else net
+            )
+            coverability = coverability_analysis(
+                analysed, max_nodes=max_nodes, engine=engine
+            )
+            record.unbounded_places = list(coverability.unbounded_places)
+            record.coverability_nodes = coverability.node_count
+            record.coverability_complete = coverability.complete
+            if coverability.unbounded_places:
+                # omega places are unbounded regardless of the cap
+                record.bounded = False
+            elif coverability.complete:
+                record.bounded = True
+            # else: truncated run with no omega found — undecided (None)
+            if coverability.complete:
+                # only a finished construction yields exact finite bounds
+                finite = [
+                    bound
+                    for place, bound in coverability.place_bounds.items()
+                    if place not in coverability.unbounded_places
+                ]
+                record.max_place_bound = max(finite) if finite else None
 
-        graph = build_reachability_graph(
-            analysed, max_markings=max_markings, engine=engine
-        )
-        record.exploration_complete = graph.complete
-        if graph.complete:
-            record.reachable_markings = len(graph.markings)
-            record.deadlocks = len(graph.deadlock_markings())
-            record.deadlock_free = record.deadlocks == 0
-            # the liveness verdict reuses the graph built above instead of
-            # paying for a second exploration through is_live()
-            record.live = live_verdict(graph, set(net.transition_names))
+            graph = build_reachability_graph(
+                analysed, max_markings=max_markings, engine=engine
+            )
+            record.exploration_complete = graph.complete
+            if graph.complete:
+                record.reachable_markings = len(graph.markings)
+                record.deadlocks = len(graph.deadlock_markings())
+                record.deadlock_free = record.deadlocks == 0
+                # the liveness verdict reuses the graph built above instead
+                # of paying for a second exploration through is_live()
+                record.live = live_verdict(graph, set(net.transition_names))
         if record.free_choice:
-            report = analyse(net, engine=engine)
+            report = qss_analyse(net, engine=engine)
             record.schedulable = report.schedulable
+            record.allocations = report.allocation_count
             record.reductions = report.reduction_count
+            record.cycle_lengths = [
+                len(v.cycle) for v in report.verdicts if v.cycle is not None
+            ]
     except (PetriNetError, RuntimeError, ValueError) as exc:
         record.error = f"{type(exc).__name__}: {exc}"
     record.elapsed_ms = (time.perf_counter() - started) * 1000.0
@@ -475,11 +526,15 @@ def analyse_spec(
 
 
 def _analyse_one(
-    args: Tuple[NetSpec, int, int, str]
+    args: Tuple[NetSpec, int, int, str, str]
 ) -> CorpusRecord:  # pragma: no cover - trivial pool shim
-    spec, max_markings, max_nodes, engine = args
+    spec, max_markings, max_nodes, engine, analyse = args
     return analyse_spec(
-        spec, max_markings=max_markings, max_nodes=max_nodes, engine=engine
+        spec,
+        max_markings=max_markings,
+        max_nodes=max_nodes,
+        engine=engine,
+        analyse=analyse,
     )
 
 
@@ -494,6 +549,7 @@ class CorpusResult:
     workers: int
     engine: str
     elapsed_seconds: float
+    analyse: str = "properties"
 
     def __len__(self) -> int:
         return len(self.records)
@@ -509,19 +565,27 @@ def run_corpus(
     max_markings: int = 2_000,
     max_nodes: int = 2_500,
     engine: str = ENGINE_COMPILED,
+    analyse: str = "properties",
 ) -> CorpusResult:
     """Analyse every spec, fanning out over a process pool when ``workers > 1``.
 
     ``workers <= 1`` runs sequentially in-process (no pool overhead) —
     the baseline the parallel path is benchmarked against.  Results come
-    back in spec order either way.
+    back in spec order either way.  ``analyse`` selects the pipeline per
+    net: the full property pipeline (``"properties"``, default) or the
+    QSS schedulability sweep (``"qss"``).
     """
     validate_engine(engine)
+    validate_corpus_analyse(analyse)
     started = time.perf_counter()
     if workers <= 1 or len(specs) <= 1:
         records = [
             analyse_spec(
-                spec, max_markings=max_markings, max_nodes=max_nodes, engine=engine
+                spec,
+                max_markings=max_markings,
+                max_nodes=max_nodes,
+                engine=engine,
+                analyse=analyse,
             )
             for spec in specs
         ]
@@ -530,7 +594,9 @@ def run_corpus(
         import multiprocessing
 
         effective_workers = min(workers, len(specs))
-        payload = [(spec, max_markings, max_nodes, engine) for spec in specs]
+        payload = [
+            (spec, max_markings, max_nodes, engine, analyse) for spec in specs
+        ]
         chunksize = max(1, len(specs) // (effective_workers * 4))
         with multiprocessing.Pool(effective_workers) as pool:
             records = pool.map(_analyse_one, payload, chunksize=chunksize)
@@ -539,6 +605,7 @@ def run_corpus(
         workers=effective_workers,
         engine=engine,
         elapsed_seconds=time.perf_counter() - started,
+        analyse=analyse,
     )
 
 
@@ -555,6 +622,7 @@ def corpus_to_json_dict(result: CorpusResult) -> Dict[str, Any]:
         "n": len(records),
         "workers": result.workers,
         "engine": result.engine,
+        "analyse": result.analyse,
         "elapsed_seconds": result.elapsed_seconds,
         "records": records,
         "summary": summarize_corpus(records),
@@ -578,6 +646,7 @@ def corpus_from_json_dict(data: Mapping[str, Any]) -> CorpusResult:
         workers=int(data["workers"]),
         engine=data["engine"],
         elapsed_seconds=float(data["elapsed_seconds"]),
+        analyse=data.get("analyse", "properties"),
     )
 
 
@@ -592,4 +661,6 @@ def corpus_to_csv(result: CorpusResult, path: str) -> None:
             row = record.to_dict()
             row["params"] = json.dumps(row["params"], sort_keys=True)
             row["unbounded_places"] = json.dumps(row["unbounded_places"])
+            if row["cycle_lengths"] is not None:
+                row["cycle_lengths"] = json.dumps(row["cycle_lengths"])
             writer.writerow(row)

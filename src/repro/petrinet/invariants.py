@@ -122,6 +122,101 @@ def _prune_non_minimal(
     return keep
 
 
+#: Magnitude guard for the vectorized int64 elimination: combinations
+#: multiply two tableau entries, so values must stay below sqrt(2^63)/2
+#: for the sum of two products to be exactly representable.
+_INT64_SAFE = 1 << 30
+
+
+def fast_minimal_semiflows(
+    matrix: np.ndarray, max_rows: int = 200_000
+) -> List[np.ndarray]:
+    """Vectorized int64 variant of :func:`_minimal_semiflows`.
+
+    Runs the same Fourier–Motzkin / Farkas elimination with the same
+    column order, combination order, gcd normalization and
+    minimal-support pruning, but on whole int64 numpy tableaus instead
+    of per-row Python object arithmetic — the form used by the
+    mask-based QSS pipeline, where the input is a submatrix of a
+    compiled net's incidence matrix.  Produces exactly the same
+    solution set as the exact object-dtype implementation; if any
+    intermediate value grows large enough that an int64 product could
+    overflow (never observed on real nets, whose entries are small arc
+    weights), the computation transparently falls back to the exact
+    implementation.
+    """
+    n_vars, n_cols = matrix.shape
+    if n_vars == 0:
+        return []
+    rows = np.hstack(
+        [np.asarray(matrix, dtype=np.int64), np.eye(n_vars, dtype=np.int64)]
+    )
+    for col in range(n_cols):
+        if rows.size and int(np.abs(rows).max()) > _INT64_SAFE:
+            return _minimal_semiflows(matrix, max_rows=max_rows)
+        c = rows[:, col]
+        pos = np.flatnonzero(c > 0)
+        neg = np.flatnonzero(c < 0)
+        zero = np.flatnonzero(c == 0)
+        if len(pos) and len(neg):
+            # combined[i, j] = (-c[neg[j]]) * rows[pos[i]] + c[pos[i]] * rows[neg[j]],
+            # flattened with the positive row as the outer loop — the same
+            # pair order as the reference implementation.
+            combined = (
+                (-c[neg])[np.newaxis, :, np.newaxis] * rows[pos][:, np.newaxis, :]
+                + (c[pos])[:, np.newaxis, np.newaxis] * rows[neg][np.newaxis, :, :]
+            ).reshape(-1, rows.shape[1])
+            divisor = np.gcd.reduce(np.abs(combined), axis=1)
+            divisor[divisor == 0] = 1
+            combined //= divisor[:, np.newaxis]
+            rows = np.vstack([rows[zero], combined])
+        else:
+            rows = rows[zero]
+        if len(rows) > max_rows:
+            raise RuntimeError(
+                "semiflow computation exceeded the safety cap "
+                f"({len(rows)} intermediate rows)"
+            )
+        rows = _prune_non_minimal_vectorized(rows, n_cols)
+    supports = rows[:, n_cols:]
+    return [
+        supports[i].copy() for i in range(len(supports)) if np.any(supports[i])
+    ]
+
+
+#: Above this many tableau rows the pairwise n x n subset matrix of the
+#: vectorized prune would dominate memory (n^2 int64), so the O(n)-memory
+#: reference loop takes over instead.
+_PRUNE_VECTOR_LIMIT = 4096
+
+
+def _prune_non_minimal_vectorized(rows: np.ndarray, n_cols: int) -> np.ndarray:
+    """Vectorized equivalent of :func:`_prune_non_minimal`.
+
+    Drops rows whose coefficient support strictly contains another
+    row's, and all but the first of any group with identical support —
+    the same keep set, in the same order, as the reference loop.
+    """
+    n = len(rows)
+    if n <= 1:
+        return rows
+    if n > _PRUNE_VECTOR_LIMIT:
+        n_vars = rows.shape[1] - n_cols
+        kept = _prune_non_minimal([rows[i] for i in range(n)], n_cols, n_vars)
+        return np.vstack(kept) if kept else rows[:0]
+    support = rows[:, n_cols:] != 0
+    sizes = support.sum(axis=1)
+    inter = support.astype(np.int64) @ support.astype(np.int64).T
+    # subset[j, i]: support_j is a (non-strict) subset of support_i
+    subset = inter == sizes[:, np.newaxis]
+    strict = subset & (sizes[:, np.newaxis] < sizes[np.newaxis, :])
+    drop = strict.any(axis=0)
+    order = np.arange(n)
+    duplicate = subset & subset.T & (order[:, np.newaxis] < order[np.newaxis, :])
+    drop |= duplicate.any(axis=0)
+    return rows[~drop]
+
+
 # ----------------------------------------------------------------------
 # Public API
 # ----------------------------------------------------------------------

@@ -142,6 +142,75 @@ def is_finite_complete_cycle(
     return end == marking
 
 
+def search_firing_order(start, remaining, is_enabled, fire) -> Optional[list]:
+    """Explicit-stack DFS over remaining-count states shared by every engine.
+
+    ``start`` is a hashable marking (a :class:`Marking` or a compiled
+    tuple), ``remaining`` a ``{transition: count}`` dict with positive
+    counts, and ``is_enabled(t, m)`` / ``fire(t, m)`` the token-game
+    primitives of the calling engine.  Candidates are tried in
+    ``remaining`` insertion order and failed ``(marking, counts)``
+    states are memoized, exactly like the recursive search this
+    replaces — but the stack is explicit, so a cycle with more firings
+    than ``sys.getrecursionlimit()`` (e.g. a multirate net with large
+    rates scaled by ``MAX_CYCLE_SCALE``) no longer raises
+    ``RecursionError``: the depth of the search equals the total firing
+    count, not a bounded constant.
+
+    Returns the firing sequence (in the caller's transition domain), or
+    ``None`` when no executable ordering of the counts exists.
+    """
+    if not remaining:
+        return []
+    failed: set = set()
+    sequence: list = []
+    # frame layout: [marking, counts, candidates, next_candidate_index, key]
+    frames: List[list] = [
+        [start, remaining, list(remaining), 0, (start, tuple(sorted(remaining.items())))]
+    ]
+    while frames:
+        frame = frames[-1]
+        marking, counts, candidates = frame[0], frame[1], frame[2]
+        if frame[3] == 0 and frame[4] in failed:
+            # entering a state already known to be a dead end: backtrack
+            frames.pop()
+            if sequence:
+                sequence.pop()
+            continue
+        advanced = False
+        while frame[3] < len(candidates):
+            transition = candidates[frame[3]]
+            frame[3] += 1
+            if not is_enabled(transition, marking):
+                continue
+            next_marking = fire(transition, marking)
+            next_counts = dict(counts)
+            next_counts[transition] -= 1
+            if next_counts[transition] == 0:
+                del next_counts[transition]
+            sequence.append(transition)
+            if not next_counts:
+                return sequence
+            frames.append(
+                [
+                    next_marking,
+                    next_counts,
+                    list(next_counts),
+                    0,
+                    (next_marking, tuple(sorted(next_counts.items()))),
+                ]
+            )
+            advanced = True
+            break
+        if advanced:
+            continue
+        failed.add(frame[4])
+        frames.pop()
+        if sequence:
+            sequence.pop()
+    return None
+
+
 def find_firing_sequence(
     net: NetLike,
     firing_counts: Mapping[str, int],
@@ -158,10 +227,12 @@ def find_firing_sequence(
     finite complete cycle).
 
     The search is a depth-first search over remaining-count states with
-    memoization of failed states; for conflict-free nets (the only nets
-    this is applied to by the QSS algorithm) a greedy strategy succeeds
-    without backtracking in the common case, so the worst-case
-    exponential behaviour is not observed in practice.
+    memoization of failed states (:func:`search_firing_order`, an
+    explicit-stack DFS so long cycles cannot overflow the interpreter
+    recursion limit); for conflict-free nets (the only nets this is
+    applied to by the QSS algorithm) a greedy strategy succeeds without
+    backtracking in the common case, so the worst-case exponential
+    behaviour is not observed in practice.
 
     By default the search runs on the net's compiled view (marking
     tuples and integer transition ids); candidates are tried in the
@@ -181,41 +252,7 @@ def find_firing_sequence(
 
     start = marking if marking is not None else net.initial_marking
     remaining = {t: int(c) for t, c in firing_counts.items() if c > 0}
-    if not remaining:
-        return []
-
-    failed: set = set()
-
-    def state_key(current: Marking, counts: Dict[str, int]) -> Tuple:
-        return (current, tuple(sorted(counts.items())))
-
-    sequence: List[str] = []
-
-    def search(current: Marking, counts: Dict[str, int]) -> bool:
-        if not counts:
-            return True
-        key = state_key(current, counts)
-        if key in failed:
-            return False
-        candidates = [
-            t for t in counts if net.is_enabled(t, current)
-        ]
-        for transition in candidates:
-            next_marking = net.fire(transition, current)
-            next_counts = dict(counts)
-            next_counts[transition] -= 1
-            if next_counts[transition] == 0:
-                del next_counts[transition]
-            sequence.append(transition)
-            if search(next_marking, next_counts):
-                return True
-            sequence.pop()
-        failed.add(key)
-        return False
-
-    if search(start, remaining):
-        return sequence
-    return None
+    return search_firing_order(start, remaining, net.is_enabled, net.fire)
 
 
 def _find_firing_sequence_compiled(
@@ -237,39 +274,13 @@ def _find_firing_sequence_compiled(
     for name, count in firing_counts.items():
         if count > 0:
             remaining[compiled.transition_id(name)] = int(count)
-    if not remaining:
-        return []
-
-    failed: set = set()
-    sequence: List[int] = []
-    is_enabled = compiled.is_enabled
-    fire = compiled.fire_unchecked
-
-    def search(current: MarkingTuple, counts: Dict[int, int]) -> bool:
-        if not counts:
-            return True
-        key = (current, tuple(sorted(counts.items())))
-        if key in failed:
-            return False
-        for transition in list(counts):
-            if not is_enabled(transition, current):
-                continue
-            next_marking = fire(transition, current)
-            next_counts = dict(counts)
-            next_counts[transition] -= 1
-            if next_counts[transition] == 0:
-                del next_counts[transition]
-            sequence.append(transition)
-            if search(next_marking, next_counts):
-                return True
-            sequence.pop()
-        failed.add(key)
-        return False
-
-    if search(start, remaining):
-        names = compiled.transitions
-        return [names[t] for t in sequence]
-    return None
+    sequence = search_firing_order(
+        start, remaining, compiled.is_enabled, compiled.fire_unchecked
+    )
+    if sequence is None:
+        return None
+    names = compiled.transitions
+    return [names[t] for t in sequence]
 
 
 def find_finite_complete_cycle(

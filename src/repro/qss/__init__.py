@@ -14,6 +14,12 @@ from .allocation import (
     enumerate_allocations,
     validate_allocation,
 )
+from .compiled_reduction import (
+    CompiledReduction,
+    QSSContext,
+    enumerate_compiled_reductions,
+    iter_compiled_reductions,
+)
 from .reduction import (
     ReductionStep,
     TReduction,
@@ -26,7 +32,9 @@ from .schedulability import (
     MAX_CYCLE_SCALE,
     ReductionVerdict,
     check_all_reductions,
+    check_compiled_reduction,
     check_reduction,
+    covering_counts,
 )
 from .schedule import FiniteCompleteCycle, ValidSchedule
 from .scheduler import (
@@ -49,9 +57,15 @@ __all__ = [
     "enumerate_reductions",
     "count_distinct_reductions",
     "assert_conflict_free",
+    "CompiledReduction",
+    "QSSContext",
+    "iter_compiled_reductions",
+    "enumerate_compiled_reductions",
     "ReductionVerdict",
     "check_reduction",
+    "check_compiled_reduction",
     "check_all_reductions",
+    "covering_counts",
     "MAX_CYCLE_SCALE",
     "FiniteCompleteCycle",
     "ValidSchedule",

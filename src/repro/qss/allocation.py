@@ -43,7 +43,20 @@ class TAllocation:
 
     @property
     def as_dict(self) -> Dict[str, str]:
-        return dict(self.choices)
+        """``{choice place: chosen transition}``, built once per instance.
+
+        ``chosen()`` and ``allocated_transitions()`` look this mapping up
+        from the hot enumeration loop, so it is memoized on first access
+        (``object.__setattr__`` is the frozen-dataclass equivalent of
+        ``cached_property``; equality and hashing still consider only the
+        ``choices`` field).  Callers must not mutate the returned dict.
+        """
+        try:
+            return self._memo_as_dict  # type: ignore[attr-defined]
+        except AttributeError:
+            mapping = dict(self.choices)
+            object.__setattr__(self, "_memo_as_dict", mapping)
+            return mapping
 
     def chosen(self, place: str) -> Optional[str]:
         """The transition chosen at ``place``, or None if not a choice."""

@@ -20,7 +20,12 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
-from ..petrinet import CompiledNet, PetriNet
+from ..petrinet import (
+    ENGINE_COMPILED,
+    CompiledNet,
+    PetriNet,
+    validate_engine,
+)
 from ..petrinet.structure import is_conflict_free
 from .allocation import TAllocation, enumerate_allocations
 
@@ -232,6 +237,7 @@ def enumerate_reductions(
     net: PetriNet,
     deduplicate: bool = True,
     max_reductions: Optional[int] = None,
+    engine: str = ENGINE_COMPILED,
 ) -> List[TReduction]:
     """Compute the T-reductions of every T-allocation of ``net``.
 
@@ -246,7 +252,27 @@ def enumerate_reductions(
     max_reductions:
         Optional safety cap; a ``RuntimeError`` is raised when exceeded
         so callers never silently work with a truncated set.
+    engine:
+        ``"compiled"`` (default) streams the allocation product through
+        the mask-based pipeline
+        (:func:`repro.qss.compiled_reduction.iter_compiled_reductions`)
+        and materializes a :class:`TReduction` only once per *distinct*
+        reduction; ``"legacy"`` rebuilds a subnet per allocation, as the
+        original algorithm did.  Both return identical reductions in
+        identical order.
     """
+    validate_engine(engine)
+    if engine == ENGINE_COMPILED:
+        from .compiled_reduction import iter_compiled_reductions
+
+        return [
+            reduction.to_reduction()
+            for reduction in iter_compiled_reductions(
+                net,
+                deduplicate=deduplicate,
+                max_reductions=max_reductions,
+            )
+        ]
     reductions: List[TReduction] = []
     seen: Set[Tuple[FrozenSet[str], FrozenSet[str]]] = set()
     for allocation in enumerate_allocations(net):
@@ -265,9 +291,18 @@ def enumerate_reductions(
     return reductions
 
 
-def count_distinct_reductions(net: PetriNet) -> int:
-    """Number of distinct T-reductions (the size of a valid schedule)."""
-    return len(enumerate_reductions(net, deduplicate=True))
+def count_distinct_reductions(net: PetriNet, engine: str = ENGINE_COMPILED) -> int:
+    """Number of distinct T-reductions (the size of a valid schedule).
+
+    With the default compiled engine the count streams over reduction
+    masks without building a single subnet.
+    """
+    validate_engine(engine)
+    if engine == ENGINE_COMPILED:
+        from .compiled_reduction import iter_compiled_reductions
+
+        return sum(1 for _ in iter_compiled_reductions(net))
+    return len(enumerate_reductions(net, deduplicate=True, engine=engine))
 
 
 def assert_conflict_free(reduction: TReduction) -> None:

@@ -27,10 +27,10 @@ from ..petrinet import (
     PetriNet,
     combine_invariants,
     find_finite_complete_cycle,
-    invariants_containing,
     t_invariants,
     validate_engine,
 )
+from .compiled_reduction import CompiledReduction
 from .reduction import TReduction
 
 #: How many integer multiples of the covering invariant are attempted when
@@ -64,7 +64,7 @@ class ReductionVerdict:
         for task partitioning).
     """
 
-    reduction: TReduction
+    reduction: "TReduction | CompiledReduction"
     schedulable: bool
     consistent: bool
     sources_covered: bool
@@ -110,14 +110,20 @@ class ReductionVerdict:
         )
 
 
-def _covering_counts(
-    reduction: TReduction,
+def covering_counts(
+    needed: Sequence[str],
     invariants: List[Dict[str, int]],
     sources: Sequence[str],
 ) -> Dict[str, int]:
     """Firing counts combining enough minimal invariants to cover every
-    transition of the reduction and every source transition of the net."""
-    needed = set(reduction.net.transition_names)
+    transition in ``needed`` and every source transition of the net.
+
+    Shared by the legacy per-net and the mask-based pipelines; the
+    invariant selection (and therefore the resulting count-dict
+    insertion order, which fixes the DFS candidate order) is identical
+    in both.
+    """
+    needed_set = set(needed)
     chosen: List[Dict[str, int]] = []
     covered: set = set()
     # First make sure each source transition is covered, then the rest.
@@ -133,9 +139,64 @@ def _covering_counts(
         if not set(invariant) <= covered:
             chosen.append(invariant)
             covered.update(invariant)
-        if covered >= needed:
+        if covered >= needed_set:
             break
     return combine_invariants(chosen)
+
+
+def _definition_35_verdict(
+    reduction,
+    needed: Sequence[str],
+    sources: Sequence[str],
+    invariants: List[Dict[str, int]],
+    source_places: List[str],
+    find_cycle,
+) -> ReductionVerdict:
+    """The engine-independent skeleton of the Definition 3.5 check.
+
+    ``needed`` are the reduction's transitions, ``sources`` the original
+    net's source transitions, ``invariants`` the reduction's minimal
+    T-invariants, and ``find_cycle(scaled_counts)`` the engine-specific
+    search for a finite complete cycle realizing the counts.  Both
+    :func:`check_reduction` and :func:`check_compiled_reduction` build
+    their verdicts through this one body, so the coverage rules, the
+    ``MAX_CYCLE_SCALE`` retry loop and the diagnostics cannot drift
+    apart between the pipelines.
+    """
+    covered: set = set()
+    for invariant in invariants:
+        covered.update(invariant)
+    uncovered = [t for t in needed if t not in covered]
+    consistent = not uncovered
+
+    uncovered_sources = [
+        s for s in sources if not any(s in invariant for invariant in invariants)
+    ]
+    sources_covered = not uncovered_sources
+
+    verdict = ReductionVerdict(
+        reduction=reduction,
+        schedulable=False,
+        consistent=consistent,
+        sources_covered=sources_covered,
+        uncovered_transitions=uncovered,
+        uncovered_sources=uncovered_sources,
+        source_places=source_places,
+        invariants=invariants,
+    )
+    if not (consistent and sources_covered):
+        return verdict
+
+    counts = covering_counts(needed, invariants, sources)
+    for scale in range(1, MAX_CYCLE_SCALE + 1):
+        scaled = {t: c * scale for t, c in counts.items()}
+        cycle = find_cycle(scaled)
+        if cycle is not None:
+            verdict.cycle = cycle
+            verdict.schedulable = True
+            return verdict
+    verdict.deadlocked = True
+    return verdict
 
 
 def check_reduction(
@@ -153,48 +214,51 @@ def check_reduction(
     across repeated checks during the allocation enumeration.
     """
     validate_engine(engine)
-    sources = net.source_transitions()
     reduced = reduction.net
-    invariants = t_invariants(reduced)
-
-    covered = set()
-    for invariant in invariants:
-        covered.update(invariant)
-    uncovered = [t for t in reduced.transition_names if t not in covered]
-    consistent = not uncovered
-
-    uncovered_sources = [
-        s
-        for s in sources
-        if not invariants_containing(reduced, s, invariants)
-    ]
-    sources_covered = not uncovered_sources
-
-    verdict = ReductionVerdict(
-        reduction=reduction,
-        schedulable=False,
-        consistent=consistent,
-        sources_covered=sources_covered,
-        uncovered_transitions=uncovered,
-        uncovered_sources=uncovered_sources,
-        source_places=reduction.source_places(),
-        invariants=invariants,
-    )
-    if not (consistent and sources_covered):
-        return verdict
-
-    counts = _covering_counts(reduction, invariants, sources)
     start = marking if marking is not None else reduced.initial_marking
     target = reduction.compiled if engine == ENGINE_COMPILED else reduced
-    for scale in range(1, MAX_CYCLE_SCALE + 1):
-        scaled = {t: c * scale for t, c in counts.items()}
-        cycle = find_finite_complete_cycle(target, scaled, start, engine=engine)
-        if cycle is not None:
-            verdict.cycle = cycle
-            verdict.schedulable = True
-            return verdict
-    verdict.deadlocked = True
-    return verdict
+    return _definition_35_verdict(
+        reduction,
+        needed=reduced.transition_names,
+        sources=net.source_transitions(),
+        invariants=t_invariants(reduced),
+        source_places=reduction.source_places(),
+        find_cycle=lambda scaled: find_finite_complete_cycle(
+            target, scaled, start, engine=engine
+        ),
+    )
+
+
+def check_compiled_reduction(
+    reduction: CompiledReduction,
+    marking: Optional[Marking] = None,
+) -> ReductionVerdict:
+    """Check Definition 3.5 for one mask-based T-reduction.
+
+    The mask pipeline's counterpart of :func:`check_reduction`: the
+    T-invariants come from the parent incidence submatrix (memoized on
+    the :class:`~repro.qss.compiled_reduction.QSSContext`), and the
+    deadlock-freedom simulation of condition (3) runs on parent marking
+    tuples filtered through the reduction masks — no per-reduction net
+    and no per-reduction compilation exist at any point.  Produces
+    verdicts (including cycles and diagnostics) identical to the legacy
+    check for the same reduction.
+    """
+    start = (
+        reduction.restrict_marking(marking)
+        if marking is not None
+        else reduction.initial
+    )
+    return _definition_35_verdict(
+        reduction,
+        needed=reduction.transition_names,
+        sources=reduction.context.source_transition_names,
+        invariants=reduction.t_invariants(),
+        source_places=reduction.source_places(),
+        find_cycle=lambda scaled: reduction.find_finite_complete_cycle(
+            scaled, start
+        ),
+    )
 
 
 def check_all_reductions(

@@ -49,6 +49,16 @@ class TestInfoAndAnalyse:
         assert main(["analyse", fig7_file]) == 1
         assert "NOT quasi-statically schedulable" in capsys.readouterr().out
 
+    def test_analyse_fail_fast_flag(self, fig7_file, capsys):
+        assert main(["analyse", fig7_file, "--fail-fast"]) == 1
+        out = capsys.readouterr().out
+        assert "fail-fast stop" in out
+        assert "NOT quasi-statically schedulable" in out
+
+    def test_analyse_workers_flag(self, fig3a_file, capsys):
+        assert main(["analyse", fig3a_file, "--workers", "2"]) == 0
+        assert "schedulable" in capsys.readouterr().out
+
     def test_missing_file_is_error(self):
         with pytest.raises(SystemExit):
             main(["info", "/nonexistent/net.json"])
@@ -155,6 +165,45 @@ class TestCorpus:
         lines = csv_path.read_text().strip().splitlines()
         assert lines[0].split(",")[:3] == ["family", "seed", "params"]
         assert len(lines) == 6  # header + one row per net
+
+    def test_corpus_qss_sweep_mode(self, tmp_path, capsys):
+        json_path = tmp_path / "sweep.json"
+        assert (
+            main(
+                [
+                    "corpus",
+                    "--n",
+                    "8",
+                    "--workers",
+                    "2",
+                    "--seed",
+                    "3",
+                    "--analyse",
+                    "qss",
+                    "--json",
+                    str(json_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "qss mode" in out
+        assert "qss sweep:" in out
+        data = json.loads(json_path.read_text())
+        assert data["schema"] == CORPUS_SCHEMA
+        assert data["analyse"] == "qss"
+        for record in data["records"]:
+            assert set(record) == set(RECORD_FIELDS)
+            assert record["error"] is None
+            # property passes are skipped in sweep mode
+            assert record["bounded"] is None
+            if record["free_choice"]:
+                assert record["schedulable"] is not None
+                assert record["allocations"] >= 1
+                assert record["cycle_lengths"] is not None
+        assert data["summary"]["qss"]["swept"] >= 1
+        rebuilt = corpus_to_json_dict(corpus_from_json_dict(data))
+        assert rebuilt == data
 
     def test_corpus_list_families(self, capsys):
         assert main(["corpus", "--list-families"]) == 0
