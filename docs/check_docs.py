@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Docs-site checks, run by the CI docs job.
+
+The documentation is a plain markdown tree; "building" it means proving
+it is internally consistent with the code:
+
+1. every relative markdown link in ``docs/*.md`` and ``README.md``
+   resolves to an existing file or directory;
+2. every path mentioned in the paper-map tables (``docs/paper_map.md``)
+   exists in the repository;
+3. every ``repro-qss`` subcommand and every long option of the argument
+   parser is documented in ``docs/cli.md`` (introspected from
+   ``repro.cli.build_parser`` — adding a flag without documenting it
+   fails CI).
+
+Exits non-zero with a summary of every violation.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+
+#: Markdown inline links: ``[text](target)``; external schemes are skipped.
+LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
+#: Repo paths quoted in the paper-map tables, e.g. ```src/repro/...py```.
+PATH_MENTION = re.compile(r"`((?:src|tests|benchmarks|docs|examples)/[^`\s]+)`")
+
+
+def check_links(errors: list) -> int:
+    pages = sorted(DOCS.glob("*.md")) + [REPO / "README.md"]
+    checked = 0
+    for page in pages:
+        for match in LINK.finditer(page.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            checked += 1
+            resolved = (page.parent / target).resolve()
+            if not resolved.exists():
+                errors.append(f"{page.relative_to(REPO)}: broken link -> {target}")
+    return checked
+
+
+def check_paper_map(errors: list) -> int:
+    text = (DOCS / "paper_map.md").read_text(encoding="utf-8")
+    mentions = sorted(set(PATH_MENTION.findall(text)))
+    if len(mentions) < 10:
+        errors.append(
+            f"paper_map.md: expected a table full of repo paths, found "
+            f"only {len(mentions)}"
+        )
+    for mention in mentions:
+        if not (REPO / mention).exists():
+            errors.append(f"paper_map.md: missing path -> {mention}")
+    return len(mentions)
+
+
+def check_cli_reference(errors: list) -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.cli import build_parser  # noqa: E402
+
+    text = (DOCS / "cli.md").read_text(encoding="utf-8")
+    parser = build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions  # noqa: SLF001 - argparse introspection
+        if action.dest == "command"
+    )
+    checked = 0
+    for name, sub in subparsers.choices.items():
+        checked += 1
+        if f"## `{name}`" not in text:
+            errors.append(f"cli.md: undocumented subcommand -> {name}")
+            continue
+        for action in sub._actions:  # noqa: SLF001
+            for option in action.option_strings:
+                if not option.startswith("--") or option == "--help":
+                    continue
+                checked += 1
+                if option not in text:
+                    errors.append(
+                        f"cli.md: undocumented option of {name!r} -> {option}"
+                    )
+    return checked
+
+
+def main() -> int:
+    errors: list = []
+    links = check_links(errors)
+    paths = check_paper_map(errors)
+    cli = check_cli_reference(errors)
+    if errors:
+        print(f"docs check FAILED ({len(errors)} problem(s)):")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print(
+        f"docs check ok: {links} links, {paths} paper-map paths, "
+        f"{cli} CLI symbols verified"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

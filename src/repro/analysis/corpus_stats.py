@@ -58,6 +58,7 @@ def summarize_corpus(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
         for r in records
         for length in (r.get("cycle_lengths") or ())
     ]
+    fleet_records = [r for r in records if r.get("fleet_instances")]
     return {
         "total": len(records),
         "by_family": dict(sorted(by_family.items())),
@@ -85,6 +86,20 @@ def summarize_corpus(records: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
                 round(sum(cycle_lengths) / len(cycle_lengths), 3)
                 if cycle_lengths
                 else 0.0
+            ),
+        },
+        "runtime": {
+            "swept": len(fleet_records),
+            "events_total": sum(int(r["fleet_events"]) for r in fleet_records),
+            "cycles_total": sum(
+                int(r["fleet_cycles_total"]) for r in fleet_records
+            ),
+            "budget_stops_total": sum(
+                int(r["fleet_budget_stops"]) for r in fleet_records
+            ),
+            "cycles_p95_max": max(
+                (float(r["fleet_cycles_p95"]) for r in fleet_records),
+                default=0.0,
             ),
         },
         "analysis_ms_total": round(sum(elapsed), 3),
@@ -122,6 +137,15 @@ def render_corpus_summary(summary: Mapping[str, Any]) -> str:
             f"(max {qss['reductions_max']}), "
             f"cycle length max {qss['cycle_length_max']} "
             f"mean {qss['cycle_length_mean']:.1f}"
+        )
+    runtime = summary.get("runtime")
+    if runtime and runtime.get("swept"):
+        lines.append(
+            f"  runtime sweep: {runtime['swept']} nets, "
+            f"{runtime['events_total']} events served, "
+            f"{runtime['cycles_total']} cycles, "
+            f"{runtime['budget_stops_total']} budget stop(s), "
+            f"worst p95 {runtime['cycles_p95_max']:.0f} cycles"
         )
     lines.append(
         f"  analysis time: {summary['analysis_ms_total']:.1f} ms total, "

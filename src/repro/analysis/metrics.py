@@ -99,7 +99,9 @@ def qss_metrics(
     """Synthesize the QSS implementation of ``net`` and measure it.
 
     Returns the metrics together with the generated program (so callers
-    can also inspect or emit the C source).
+    can also inspect or emit the C source).  ``engine`` selects the
+    execution core for both the schedule synthesis and the RTOS/IR
+    interpretation of the testbench.
     """
     if schedule is None:
         schedule = compute_valid_schedule(net, engine=engine)
@@ -107,7 +109,7 @@ def qss_metrics(
     emission = emit_c(
         program, EmitOptions(boilerplate_lines_per_task=TASK_BOILERPLATE_LINES)
     )
-    rtos = RTOS(program, cost_model)
+    rtos = RTOS(program, cost_model, engine=engine)
     stats = rtos.run(events)
     metrics = ImplementationMetrics(
         name=name,
@@ -126,10 +128,15 @@ def functional_metrics(
     events: Sequence[Event],
     cost_model: Optional[CostModel] = None,
     name: str = "Functional task partitioning",
+    engine: str = ENGINE_COMPILED,
 ) -> ImplementationMetrics:
-    """Measure the one-task-per-module baseline implementation."""
+    """Measure the one-task-per-module baseline implementation.
+
+    ``engine`` selects the reactive simulator core executing the
+    testbench (identical stats on either).
+    """
     implementation = build_functional_implementation(net, modules)
-    stats = implementation.run(events, cost_model)
+    stats = implementation.run(events, cost_model, engine=engine)
     return ImplementationMetrics(
         name=name,
         tasks=implementation.task_count,
@@ -148,11 +155,17 @@ def build_comparison(
     title: str = "Table I",
     engine: str = ENGINE_COMPILED,
 ) -> ComparisonTable:
-    """Build the full Table I comparison for ``net``."""
+    """Build the full Table I comparison for ``net``.
+
+    ``engine`` selects the execution core for both rows: the QSS
+    schedule synthesis and the baseline's reactive simulation.
+    """
     table = ComparisonTable(title=title)
     qss_row, _ = qss_metrics(net, events, cost_model, engine=engine)
     table.rows.append(qss_row)
-    table.rows.append(functional_metrics(net, modules, events, cost_model))
+    table.rows.append(
+        functional_metrics(net, modules, events, cost_model, engine=engine)
+    )
     return table
 
 

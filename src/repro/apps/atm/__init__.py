@@ -10,7 +10,12 @@ from .model import (
     build_atm_server_net,
     default_choice_probabilities,
 )
-from .workload import AtmWorkload, make_testbench
+from .workload import (
+    AtmFleetWorkload,
+    AtmWorkload,
+    make_fleet_testbench,
+    make_testbench,
+)
 
 __all__ = [
     "build_atm_server_net",
@@ -22,5 +27,7 @@ __all__ = [
     "ATM_CHOICE_PLACES",
     "default_choice_probabilities",
     "AtmWorkload",
+    "AtmFleetWorkload",
     "make_testbench",
+    "make_fleet_testbench",
 ]

@@ -1,4 +1,4 @@
-"""Testbench workload for the ATM server experiments.
+"""Testbench workloads for the ATM server experiments.
 
 The paper's Table I uses "a testbench of 50 ATM cells".  The workload
 here reproduces that setup: a configurable number of *Cell* events with
@@ -6,6 +6,12 @@ irregular (exponential) inter-arrival times, interleaved with the
 periodic *Tick* events that occur while the cells are being served, each
 event carrying the data-dependent choice resolutions drawn from the
 probabilities in :func:`repro.apps.atm.model.default_choice_probabilities`.
+
+:class:`AtmFleetWorkload` scales the testbench to a *server fleet*: N
+independent ATM server instances, each driven by its own reproducible
+stream (per-instance derived seeds for both the arrival process and the
+choice sampler), for :class:`~repro.runtime.fleet.FleetSimulator` and
+the ``repro-qss serve`` subcommand.
 """
 
 from __future__ import annotations
@@ -94,3 +100,50 @@ class AtmWorkload:
 def make_testbench(cells: int = 50, seed: int = 2026) -> List[Event]:
     """The Table I testbench: ``cells`` ATM cells plus the concurrent Ticks."""
     return AtmWorkload(cells=cells, seed=seed).events()
+
+
+@dataclass
+class AtmFleetWorkload:
+    """A fleet of independent ATM server testbenches.
+
+    Attributes
+    ----------
+    instances:
+        Number of concurrent server instances.
+    cells / cell_mean_interval / tick_period / probabilities:
+        Per-instance testbench parameters (see :class:`AtmWorkload`).
+    seed:
+        Fleet seed; instance ``i`` derives the reproducible, distinct
+        seed ``seed * 1_000_003 + i`` for its own arrival process and
+        choice sampler.
+    """
+
+    instances: int = 100
+    cells: int = 50
+    cell_mean_interval: float = 2.5
+    tick_period: float = 2.0
+    seed: int = 2026
+    probabilities: Optional[Mapping[str, Mapping[str, float]]] = None
+
+    def instance_seed(self, instance: int) -> int:
+        return self.seed * 1_000_003 + instance
+
+    def streams(self) -> List[List[Event]]:
+        """One merged, time-ordered event stream per instance."""
+        return [
+            AtmWorkload(
+                cells=self.cells,
+                cell_mean_interval=self.cell_mean_interval,
+                tick_period=self.tick_period,
+                seed=self.instance_seed(i),
+                probabilities=self.probabilities,
+            ).events()
+            for i in range(self.instances)
+        ]
+
+
+def make_fleet_testbench(
+    instances: int, cells: int = 50, seed: int = 2026
+) -> List[List[Event]]:
+    """Per-instance testbenches for an ``instances``-strong ATM server fleet."""
+    return AtmFleetWorkload(instances=instances, cells=cells, seed=seed).streams()

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from ..petrinet import PetriNet
+from ..petrinet import ENGINE_COMPILED, PetriNet
 from ..runtime.cost import CostModel
 from ..runtime.events import Event
 from ..runtime.reactive import ModuleAssignment, ReactiveNetSimulator
@@ -45,10 +45,16 @@ class DynamicImplementation:
         return self.task_count * (1 + MICROTASK_BOILERPLATE_LINES)
 
     def run(
-        self, events: Sequence[Event], cost_model: Optional[CostModel] = None
+        self,
+        events: Sequence[Event],
+        cost_model: Optional[CostModel] = None,
+        engine: str = ENGINE_COMPILED,
     ) -> ExecutionStats:
+        """Execute the testbench; ``engine`` selects the simulator core."""
         assignment = ModuleAssignment.one_task_per_transition(self.net)
-        simulator = ReactiveNetSimulator(self.net, assignment, cost_model)
+        simulator = ReactiveNetSimulator(
+            self.net, assignment, cost_model, engine=engine
+        )
         return simulator.run(events)
 
 

@@ -16,6 +16,8 @@ writing Python:
                                            # stress-analyse 200 generated nets
     $ repro-qss corpus --n 200 --workers 4 --analyse qss --csv sweep.csv
                                            # parallel schedulability sweep
+    $ repro-qss serve --instances 1000 --events 50
+                                           # execute an ATM server fleet
 
 Every subcommand returns a process exit code of 0 on success, 1 when the
 analysis reports a negative result (e.g. the net is not schedulable) and
@@ -36,7 +38,12 @@ from pathlib import Path
 from typing import List, Optional
 
 from .analysis import build_comparison, render_corpus_summary
-from .apps.atm import MODULE_PARTITION, build_atm_server_net, make_testbench
+from .apps.atm import (
+    MODULE_PARTITION,
+    build_atm_server_net,
+    make_fleet_testbench,
+    make_testbench,
+)
 from .codegen import EmitOptions, emit_c, synthesize
 from .gallery import paper_figures
 from .petrinet import (
@@ -58,6 +65,7 @@ from .petrinet.corpus import (
 )
 from .petrinet.exceptions import PetriNetError
 from .qss import analyse, partition_tasks
+from .runtime import FleetSimulator, ModuleAssignment
 
 
 def _load(path: str):
@@ -169,6 +177,26 @@ def cmd_atm_table1(args: argparse.Namespace) -> int:
     print(table.render())
     ratio = table.ratio("clock_cycles", "QSS", "Functional task partitioning")
     print(f"functional / QSS clock-cycle ratio: {ratio:.3f}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    net = build_atm_server_net()
+    streams = make_fleet_testbench(
+        args.instances, cells=args.events, seed=args.seed
+    )
+    if args.partition == "modules":
+        assignment = ModuleAssignment.from_groups(MODULE_PARTITION)
+    else:
+        assignment = ModuleAssignment.single_task(net)
+    fleet = FleetSimulator(net, assignment, engine=args.engine)
+    result = fleet.run(streams, workers=args.workers)
+    print(result.describe())
+    print(
+        f"served {result.stats.events_processed} events across "
+        f"{result.instances} instance(s) in {result.elapsed_seconds:.3f}s "
+        f"({args.engine} engine, {args.partition} partition)"
+    )
     return 0
 
 
@@ -312,9 +340,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--analyse",
         choices=CORPUS_ANALYSES,
         default="properties",
-        help="analysis per net: the full property pipeline (default) or "
+        help="analysis per net: the full property pipeline (default), "
         "the QSS schedulability sweep (verdict, allocation/reduction "
-        "counts, cycle lengths)",
+        "counts, cycle lengths), or the runtime throughput sweep "
+        "(fleet execution: events served, cycle percentiles, events/s)",
     )
     p_corpus.add_argument("--json", help="write the JSON summary to this file")
     p_corpus.add_argument("--csv", help="write one CSV row per net to this file")
@@ -332,6 +361,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_flag(p_corpus)
     p_corpus.set_defaults(func=cmd_corpus)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="execute a fleet of ATM server instances against event streams",
+    )
+    p_serve.add_argument(
+        "--instances",
+        type=int,
+        default=100,
+        help="number of concurrent server instances (default 100)",
+    )
+    p_serve.add_argument(
+        "--events",
+        type=int,
+        default=50,
+        help="ATM cells per instance; the periodic Ticks ride along "
+        "(default 50, the Table I testbench size)",
+    )
+    p_serve.add_argument("--seed", type=int, default=2026, help="fleet seed")
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard the fleet over a process pool; 1 runs in-process",
+    )
+    p_serve.add_argument(
+        "--partition",
+        choices=("modules", "single"),
+        default="modules",
+        help="task partition: one task per functional module (default, "
+        "pays inter-task queue traffic) or a single run-to-completion task",
+    )
+    _add_engine_flag(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_table1 = sub.add_parser("atm-table1", help="reproduce Table I on the ATM server")
     p_table1.add_argument("--cells", type=int, default=50)

@@ -23,6 +23,12 @@ a flat list of ints instead of string-keyed dicts — the same
 representation shift as :class:`repro.petrinet.compiled.CompiledNet` for
 the analysis side.  The public, name-keyed ``counters`` view is
 preserved for diagnostics and tests.
+
+Like the analyses, the executor takes ``engine="compiled"`` (default)
+or ``engine="legacy"``: the legacy engine skips the lowering and
+tree-walks the IR statement objects against a name-keyed counter dict —
+the pre-lowering execution style, kept for cross-checking (both charge
+identical cycles and fire identical sequences).
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from ..petrinet.compiled import ENGINE_COMPILED, ENGINE_LEGACY, validate_engine
 from ..runtime.cost import CostModel
 from .ir import (
     Block,
@@ -79,16 +86,28 @@ _OP_CALL = 6
 class TaskExecutor:
     """Executes activations of a single task, keeping its counter state.
 
-    The counting variables are held as a flat list of ints indexed by a
-    dense place id (the task's compiled marking); the name-keyed
-    :attr:`counters` view is rebuilt on demand.
+    With ``engine="compiled"`` (default) the counting variables are held
+    as a flat list of ints indexed by a dense place id (the task's
+    compiled marking) and the IR is lowered once into integer opcodes;
+    with ``engine="legacy"`` the IR statement objects are tree-walked
+    against a name-keyed counter dict.  The name-keyed :attr:`counters`
+    view is available either way.
     """
 
-    def __init__(self, task: TaskProgram, cost_model: Optional[CostModel] = None) -> None:
+    def __init__(
+        self,
+        task: TaskProgram,
+        cost_model: Optional[CostModel] = None,
+        engine: str = ENGINE_COMPILED,
+    ) -> None:
         self.task = task
         self.cost = cost_model or CostModel()
+        self.engine = validate_engine(engine)
         #: guards against runaway recursion caused by malformed fragments
         self._max_depth = 10_000
+        if self.engine == ENGINE_LEGACY:
+            self._state: Dict[str, int] = dict(task.counters)
+            return
         # dense index over the task's counting variables (declared
         # counters first, then any place only referenced by statements)
         self._place_ids: Dict[str, int] = {
@@ -113,6 +132,12 @@ class TaskExecutor:
         executor's state.
         """
         declared = self.task.counters
+        if self.engine == ENGINE_LEGACY:
+            return {
+                place: value
+                for place, value in self._state.items()
+                if place in declared or value
+            }
         return {
             place: self._values[index]
             for place, index in self._place_ids.items()
@@ -121,19 +146,30 @@ class TaskExecutor:
 
     @counters.setter
     def counters(self, values: Mapping[str, int]) -> None:
+        if self.engine == ENGINE_LEGACY:
+            self._state = dict(values)
+            return
         self._values = [0] * len(self._place_ids)
         for place, value in values.items():
             self._values[self._place_ids[place]] = value
 
     def reset(self) -> None:
         """Reset counters to the initial marking."""
-        self._values = list(self._initial)
+        if self.engine == ENGINE_LEGACY:
+            self._state = dict(self.task.counters)
+        else:
+            self._values = list(self._initial)
 
     def activate(self, resolve_choice: ChoiceResolver) -> ActivationResult:
         """Run one activation of the task (one input event)."""
         result = ActivationResult(task=self.task.name, cycles=0)
+        run = (
+            self._run_fragment_ir
+            if self.engine == ENGINE_LEGACY
+            else self._run_fragment
+        )
         for entry in self.task.entry_fragments:
-            self._run_fragment(entry, resolve_choice, result, depth=0)
+            run(entry, resolve_choice, result, depth=0)
         return result
 
     # -- IR lowering -------------------------------------------------------
@@ -257,15 +293,118 @@ class TaskExecutor:
             else:  # _OP_CALL
                 self._run_fragment(op[1], resolve_choice, result, depth + 1)
 
+    # -- legacy (tree-walking) execution ------------------------------------
+    def _run_fragment_ir(
+        self,
+        name: str,
+        resolve_choice: ChoiceResolver,
+        result: ActivationResult,
+        depth: int,
+    ) -> None:
+        if depth > self._max_depth:
+            raise ExecutionError(
+                f"fragment recursion exceeded {self._max_depth} levels in "
+                f"task {self.task.name!r}"
+            )
+        result.cycles += self.cost.call_cycles
+        self._run_block_ir(
+            self.task.fragments[name].body, resolve_choice, result, depth
+        )
+
+    def _guard_holds(self, statement: Guarded) -> bool:
+        state = self._state
+        return all(
+            state.get(place, 0) >= threshold
+            for place, threshold in statement.conditions
+        )
+
+    def _run_block_ir(
+        self,
+        block: Block,
+        resolve_choice: ChoiceResolver,
+        result: ActivationResult,
+        depth: int,
+    ) -> None:
+        state = self._state
+        cost = self.cost
+        for statement in block:
+            if isinstance(statement, Comment):
+                continue
+            if isinstance(statement, FireTransition):
+                result.fired.append(statement.transition)
+                result.cycles += statement.cost * cost.transition_cycles
+            elif isinstance(statement, IncCount):
+                state[statement.place] = state.get(statement.place, 0) + statement.amount
+                result.cycles += cost.counter_cycles
+            elif isinstance(statement, DecCount):
+                updated = state.get(statement.place, 0) - statement.amount
+                if updated < 0:
+                    raise ExecutionError(
+                        f"counter for place {statement.place!r} went negative "
+                        f"in task {self.task.name!r}"
+                    )
+                state[statement.place] = updated
+                result.cycles += cost.counter_cycles
+            elif isinstance(statement, Guarded):
+                if statement.kind == "if":
+                    result.cycles += cost.test_cycles
+                    if self._guard_holds(statement):
+                        self._run_block_ir(
+                            statement.body, resolve_choice, result, depth
+                        )
+                else:
+                    iterations = 0
+                    while True:
+                        result.cycles += cost.test_cycles
+                        if not self._guard_holds(statement):
+                            break
+                        self._run_block_ir(
+                            statement.body, resolve_choice, result, depth
+                        )
+                        iterations += 1
+                        if iterations > 1_000_000:
+                            raise ExecutionError(
+                                "while-guard did not terminate; the generated "
+                                "code would loop forever"
+                            )
+            elif isinstance(statement, ChoiceIf):
+                result.cycles += cost.test_cycles
+                chosen = resolve_choice(statement.place)
+                result.choices_taken[statement.place] = chosen
+                for choice, branch in statement.branches:
+                    if choice == chosen:
+                        self._run_block_ir(branch, resolve_choice, result, depth)
+                        break
+                # otherwise the data selected an alternative outside this
+                # task: nothing to do.
+            elif isinstance(statement, CallFragment):
+                self._run_fragment_ir(
+                    statement.fragment, resolve_choice, result, depth + 1
+                )
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown IR statement {statement!r}")
+
 
 class ProgramExecutor:
-    """Executes a whole program: one :class:`TaskExecutor` per task."""
+    """Executes a whole program: one :class:`TaskExecutor` per task.
 
-    def __init__(self, program: Program, cost_model: Optional[CostModel] = None) -> None:
+    ``engine`` is forwarded to every :class:`TaskExecutor`: the lowered
+    integer-opcode form (``"compiled"``, default) or the direct IR tree
+    walk (``"legacy"``).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        cost_model: Optional[CostModel] = None,
+        engine: str = ENGINE_COMPILED,
+    ) -> None:
         self.program = program
         self.cost = cost_model or CostModel()
+        self.engine = validate_engine(engine)
         self.tasks: Dict[str, TaskExecutor] = {
-            task.name: TaskExecutor(task, self.cost) for task in program.tasks
+            task.name: TaskExecutor(task, self.cost, engine=engine)
+            for task in program.tasks
         }
         self._source_to_task: Dict[str, str] = {}
         for task in program.tasks:

@@ -14,7 +14,7 @@ its nets from the compact :class:`NetSpec` (cheaper and more robust than
 pickling nets) and keeps a per-process cache of compiled views so every
 property check of a net shares one :class:`CompiledNet`.
 
-Two analysis modes are offered (the ``analyse`` argument / CLI flag):
+Three analysis modes are offered (the ``analyse`` argument / CLI flag):
 
 * ``"properties"`` (default) — the full property pipeline: net class,
   boundedness via Karp–Miller coverability, deadlocks, liveness, place
@@ -24,11 +24,19 @@ Two analysis modes are offered (the ``analyse`` argument / CLI flag):
   verdict, T-allocation and T-reduction counts, finite-complete-cycle
   lengths), skipping the reachability/coverability passes so large
   sweeps stay cheap.
+* ``"runtime"`` — the execution throughput sweep: drive a small fleet of
+  instances of each net (:class:`~repro.runtime.fleet.FleetSimulator`,
+  synthetic per-instance event streams on every source transition,
+  uniform choice resolutions) and record the served events, cycle
+  percentiles and events-per-second throughput.  Nets without source
+  transitions cannot be event-driven and keep ``null`` fleet columns;
+  a per-event firing budget (``on_budget="stop"``) keeps nets that
+  never quiesce total.
 
-JSON schema (``schema`` = ``repro-qss.corpus/2``)::
+JSON schema (``schema`` = ``repro-qss.corpus/3``)::
 
     {
-      "schema": "repro-qss.corpus/2",
+      "schema": "repro-qss.corpus/3",
       "n": <number of records>,
       "workers": <pool size used>,
       "engine": "compiled" | "legacy",
@@ -52,6 +60,13 @@ JSON schema (``schema`` = ``repro-qss.corpus/2``)::
           "allocations": int | null,            # T-allocation count (product of choice out-degrees)
           "reductions": int | null,             # distinct T-reduction count
           "cycle_lengths": [int] | null,        # per-reduction finite-complete-cycle lengths
+          "fleet_instances": int | null,        # runtime sweep: fleet size
+          "fleet_events": int | null,           # events served across the fleet
+          "fleet_cycles_total": int | null,     # simulated cycles across the fleet
+          "fleet_cycles_p50": float | null,     # per-instance cycle percentiles
+          "fleet_cycles_p95": float | null,
+          "fleet_budget_stops": int | null,     # events stopped by the firing budget
+          "fleet_throughput_eps": float | null, # served events per wall-clock second
           "error": str | null,                  # analysis exception, if any
           "elapsed_ms": float
         }, ...
@@ -60,8 +75,12 @@ JSON schema (``schema`` = ``repro-qss.corpus/2``)::
     }
 
 In ``"qss"`` mode the coverability/reachability fields keep their
-defaults (``null`` / 0 / false); in ``"properties"`` mode every field is
-filled, including the QSS sweep columns (the report is computed anyway).
+defaults (``null`` / 0 / false); in ``"properties"`` mode every field
+except the ``fleet_*`` columns is filled, including the QSS sweep
+columns (the report is computed anyway); in ``"runtime"`` mode only the
+structural summary and the ``fleet_*`` columns are filled.  Note that
+``fleet_throughput_eps`` is a wall-clock measurement and therefore the
+one record field that is not bit-reproducible across runs.
 """
 
 from __future__ import annotations
@@ -99,11 +118,20 @@ from .net import PetriNet
 
 #: Version tag of the JSON summary documented in the module docstring.
 #: Bumped to /2 when the schedulability sweep columns (``allocations``,
-#: ``cycle_lengths``) and the top-level ``analyse`` mode were added.
-CORPUS_SCHEMA = "repro-qss.corpus/2"
+#: ``cycle_lengths``) and the top-level ``analyse`` mode were added, and
+#: to /3 when the runtime sweep (``fleet_*`` columns) landed.
+CORPUS_SCHEMA = "repro-qss.corpus/3"
 
 #: The analysis modes accepted by :func:`analyse_spec` / :func:`run_corpus`.
-CORPUS_ANALYSES = ("properties", "qss")
+CORPUS_ANALYSES = ("properties", "qss", "runtime")
+
+#: Fleet shape of the ``"runtime"`` sweep: instances per net, events per
+#: instance, and the per-event firing budget that keeps never-quiescing
+#: nets total (their events are cut off and counted in
+#: ``fleet_budget_stops`` instead of erroring the record).
+FLEET_SWEEP_INSTANCES = 16
+FLEET_SWEEP_EVENTS = 20
+FLEET_SWEEP_BUDGET = 256
 
 
 def validate_corpus_analyse(analyse: str) -> str:
@@ -350,6 +378,13 @@ RECORD_FIELDS = (
     "allocations",
     "reductions",
     "cycle_lengths",
+    "fleet_instances",
+    "fleet_events",
+    "fleet_cycles_total",
+    "fleet_cycles_p50",
+    "fleet_cycles_p95",
+    "fleet_budget_stops",
+    "fleet_throughput_eps",
     "error",
     "elapsed_ms",
 )
@@ -382,6 +417,13 @@ class CorpusRecord:
     allocations: Optional[int] = None
     reductions: Optional[int] = None
     cycle_lengths: Optional[List[int]] = None
+    fleet_instances: Optional[int] = None
+    fleet_events: Optional[int] = None
+    fleet_cycles_total: Optional[int] = None
+    fleet_cycles_p50: Optional[float] = None
+    fleet_cycles_p95: Optional[float] = None
+    fleet_budget_stops: Optional[int] = None
+    fleet_throughput_eps: Optional[float] = None
     error: Optional[str] = None
     elapsed_ms: float = 0.0
 
@@ -444,7 +486,11 @@ def analyse_spec(
     ``analyse="properties"`` (default) runs the full property pipeline;
     ``analyse="qss"`` runs only the structural summary plus the QSS
     schedulability sweep (verdict, allocation/reduction counts, cycle
-    lengths), skipping the coverability/reachability passes.
+    lengths), skipping the coverability/reachability passes;
+    ``analyse="runtime"`` runs only the structural summary plus the
+    fleet throughput sweep (:data:`FLEET_SWEEP_INSTANCES` instances x
+    :data:`FLEET_SWEEP_EVENTS` synthetic events on the requested
+    engine, per-event firing budget :data:`FLEET_SWEEP_BUDGET`).
 
     Caps keep every net affordable: coverability stops after
     ``max_nodes`` Karp–Miller nodes, reachability-based checks
@@ -511,7 +557,9 @@ def analyse_spec(
                 # the liveness verdict reuses the graph built above instead
                 # of paying for a second exploration through is_live()
                 record.live = live_verdict(graph, set(net.transition_names))
-        if record.free_choice:
+        if analyse == "runtime":
+            _runtime_sweep(spec, record, engine)
+        elif record.free_choice:
             report = qss_analyse(net, engine=engine)
             record.schedulable = report.schedulable
             record.allocations = report.allocation_count
@@ -523,6 +571,38 @@ def analyse_spec(
         record.error = f"{type(exc).__name__}: {exc}"
     record.elapsed_ms = (time.perf_counter() - started) * 1000.0
     return record
+
+
+def _runtime_sweep(spec: NetSpec, record: CorpusRecord, engine: str) -> None:
+    """Fill the ``fleet_*`` columns of ``record`` (runtime sweep mode).
+
+    Nets without source transitions cannot be driven by events and keep
+    their ``None`` fleet columns.
+    """
+    from ..runtime import FleetSimulator, ModuleAssignment, synthetic_streams
+
+    net = _cached_net(spec)
+    if not net.source_transitions():
+        return
+    streams = synthetic_streams(
+        net, FLEET_SWEEP_INSTANCES, FLEET_SWEEP_EVENTS, seed=spec.seed
+    )
+    target: Any = _cached_compiled(spec) if engine == ENGINE_COMPILED else net
+    fleet = FleetSimulator(
+        target,
+        ModuleAssignment.single_task(net),
+        max_firings_per_event=FLEET_SWEEP_BUDGET,
+        engine=engine,
+        on_budget="stop",
+    )
+    result = fleet.run(streams)
+    record.fleet_instances = result.instances
+    record.fleet_events = int(result.stats.events_processed)
+    record.fleet_cycles_total = int(result.stats.total_cycles)
+    record.fleet_cycles_p50 = result.percentile(50)
+    record.fleet_cycles_p95 = result.percentile(95)
+    record.fleet_budget_stops = int(result.stats.budget_stops)
+    record.fleet_throughput_eps = round(result.throughput_eps, 1)
 
 
 def _analyse_one(

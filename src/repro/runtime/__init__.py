@@ -1,4 +1,18 @@
-"""Runtime substrate: cost model, event streams, RTOS and reactive execution."""
+"""Runtime substrate: cost model, event streams, RTOS, reactive and fleet execution.
+
+Every execution path in this package takes the stack-wide
+``engine="compiled"`` (default) / ``engine="legacy"`` switch:
+:class:`ReactiveNetSimulator` runs the event loop either on the
+integer-indexed :class:`~repro.petrinet.compiled.CompiledNet` view or on
+the string-keyed token game, :class:`RTOS` forwards the switch to the IR
+interpreter (lowered opcodes vs direct tree walking), and
+:class:`FleetSimulator` batches N net instances into one ``(N, P)``
+numpy marking matrix on the compiled engine (its legacy engine is the
+per-instance baseline).  Engines always produce identical
+:class:`ExecutionStats`; `tests/test_runtime_compiled_differential.py`
+is the cross-check suite and `benchmarks/bench_runtime_fleet.py` the
+fleet performance contract.
+"""
 
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .events import (
@@ -9,7 +23,13 @@ from .events import (
     periodic_events,
     with_choices,
 )
-from .reactive import ModuleAssignment, ReactiveNetSimulator
+from .fleet import FleetResult, FleetSimulator, synthetic_streams
+from .reactive import (
+    BUDGET_POLICIES,
+    ModuleAssignment,
+    ReactiveNetSimulator,
+    validate_budget_policy,
+)
 from .rtos import RTOS, ExecutionStats
 
 __all__ = [
@@ -25,4 +45,9 @@ __all__ = [
     "ExecutionStats",
     "ModuleAssignment",
     "ReactiveNetSimulator",
+    "BUDGET_POLICIES",
+    "validate_budget_policy",
+    "FleetSimulator",
+    "FleetResult",
+    "synthetic_streams",
 ]

@@ -1,0 +1,539 @@
+"""Batched multi-instance execution: serving fleets of net instances.
+
+One reactive simulation answers "what does *one* deployed system do
+under this event stream?".  The production question is different: a
+server farm runs *thousands* of independent instances of the same
+specification, each against its own event stream.  Stepping them one by
+one through :class:`~repro.runtime.reactive.ReactiveNetSimulator` pays
+the full Python event loop per instance; :class:`FleetSimulator` steps
+all of them *together* on the compiled engine:
+
+* the fleet state is a single ``(N, P)`` int64 numpy matrix — one row
+  per instance, one column per compiled place id;
+* enabledness of every transition in every instance is one vectorized
+  comparison against the compiled ``pre`` matrix (``(N, T)`` boolean);
+* each event round dispatches the next event of every instance at once
+  (per-instance seeded :class:`~repro.runtime.events.ChoiceSampler`
+  resolutions become per-row "allowed" masks), then runs all instances
+  to quiescence in lock-step — one batched firing per iteration per
+  still-active instance;
+* accounting (cycles, activations, queue traffic, firings) accumulates
+  in integer arrays and is folded into one aggregate
+  :class:`~repro.runtime.rtos.ExecutionStats` plus per-instance cycle
+  totals at the end, so percentiles across the fleet come for free.
+
+``engine="legacy"`` runs the same fleet one instance at a time on the
+string-keyed reactive simulator — the baseline
+``benchmarks/bench_runtime_fleet.py`` holds the batched engine's >= 5x
+contract against.  Both engines produce identical aggregate stats and
+identical per-instance cycle vectors
+(`tests/test_runtime_compiled_differential.py`).
+
+``run(streams, workers=N)`` additionally shards the fleet over a
+``multiprocessing`` pool (contiguous instance chunks, one batched
+simulator per worker) and merges the chunk results in order, so the
+result is byte-identical to the sequential run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..petrinet import PetriNet
+from ..petrinet.compiled import (
+    ENGINE_COMPILED,
+    ENGINE_LEGACY,
+    CompiledNet,
+    compile_net,
+    validate_engine,
+)
+from ..petrinet.exceptions import NotEnabledError
+from .cost import CostModel
+from .events import ChoiceSampler, Event, irregular_events, merge_streams, with_choices
+from .reactive import (
+    QUIESCENCE_MESSAGE,
+    ModuleAssignment,
+    ReactiveNetSimulator,
+    validate_budget_policy,
+)
+from .rtos import ExecutionStats
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one fleet run.
+
+    Attributes
+    ----------
+    stats:
+        Aggregate :class:`ExecutionStats` over every instance (cycles,
+        activations per task, firings per transition, events, budget
+        stops).
+    instance_cycles / instance_events:
+        Per-instance totals, index-aligned with the input streams.
+    engine:
+        The engine that produced the result.
+    elapsed_seconds:
+        Wall-clock of the run (the denominator of :attr:`throughput_eps`).
+    """
+
+    stats: ExecutionStats
+    instance_cycles: np.ndarray
+    instance_events: np.ndarray
+    engine: str
+    elapsed_seconds: float = 0.0
+
+    @property
+    def instances(self) -> int:
+        return int(len(self.instance_cycles))
+
+    @property
+    def throughput_eps(self) -> float:
+        """Events served per wall-clock second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.stats.events_processed / self.elapsed_seconds
+
+    def percentile(self, q: float) -> float:
+        """Percentile of the per-instance total-cycle distribution."""
+        if len(self.instance_cycles) == 0:
+            return 0.0
+        return float(np.percentile(self.instance_cycles, q))
+
+    def percentiles(
+        self, qs: Sequence[float] = (50, 90, 95, 99)
+    ) -> Dict[str, float]:
+        """The standard latency-style summary of the cycle distribution."""
+        return {f"p{q:g}": self.percentile(q) for q in qs}
+
+    def describe(self) -> str:
+        lines = [
+            f"fleet of {self.instances} instance(s) ({self.engine} engine)",
+            self.stats.describe(),
+            "per-instance cycles: "
+            + ", ".join(
+                f"{name}={value:.0f}" for name, value in self.percentiles().items()
+            ),
+        ]
+        if self.elapsed_seconds > 0:
+            lines.append(
+                f"throughput: {self.throughput_eps:.0f} events/s "
+                f"({self.elapsed_seconds:.3f}s wall)"
+            )
+        return "\n".join(lines)
+
+
+class FleetSimulator:
+    """Steps N independent instances of one net as a single batch.
+
+    Parameters
+    ----------
+    net:
+        The specification (:class:`PetriNet` or pre-compiled
+        :class:`CompiledNet`).
+    assignment:
+        Task of every transition (must cover *all* transitions — the
+        batched engine precomputes the module table up front).
+    cost_model / max_firings_per_event / on_budget:
+        As for :class:`~repro.runtime.reactive.ReactiveNetSimulator`.
+    engine:
+        ``"compiled"`` (default) runs the vectorized batch; ``"legacy"``
+        loops a string-keyed reactive simulator over the instances (the
+        benchmark baseline).
+    """
+
+    def __init__(
+        self,
+        net: Union[PetriNet, CompiledNet],
+        assignment: ModuleAssignment,
+        cost_model: Optional[CostModel] = None,
+        max_firings_per_event: int = 100_000,
+        engine: str = ENGINE_COMPILED,
+        on_budget: str = "error",
+    ) -> None:
+        self.engine = validate_engine(engine)
+        self.on_budget = validate_budget_policy(on_budget)
+        self.assignment = assignment
+        self.cost = cost_model or CostModel()
+        self.max_firings_per_event = max_firings_per_event
+        compiled = net if isinstance(net, CompiledNet) else None
+        self._net: Optional[PetriNet] = None if compiled is not None else net
+        # the legacy engine never touches the batch tables, so it skips
+        # both the compilation and the table preparation entirely
+        if self.engine == ENGINE_COMPILED:
+            self.cnet: Optional[CompiledNet] = compiled or compile_net(net)
+            self._prepare_tables()
+        else:
+            self.cnet = compiled
+
+    @property
+    def net(self) -> PetriNet:
+        """The named view of the specification (decompiled on demand)."""
+        if self._net is None:
+            self._net = self.cnet.decompile()
+        return self._net
+
+    def _prepare_tables(self) -> None:
+        cnet = self.cnet
+        n_t = len(cnet.transitions)
+        # module table: id per transition, names indexed by module id
+        module_names: List[str] = []
+        module_index: Dict[str, int] = {}
+        module_of = np.empty(n_t, dtype=np.int64)
+        for t_id, name in enumerate(cnet.transitions):
+            module = self.assignment.module_of(name)
+            if module not in module_index:
+                module_index[module] = len(module_names)
+                module_names.append(module)
+            module_of[t_id] = module_index[module]
+        self._module_names = module_names
+        self._module_of = module_of
+        transition_cycles = self.cost.transition_cycles
+        test_cycles = self.cost.test_cycles
+        self._fire_cycles = np.array(
+            [cost * transition_cycles + test_cycles for cost in cnet.costs],
+            dtype=np.int64,
+        )
+        self._nonsource = np.array(
+            [bool(pairs) for pairs in cnet.pre_lists], dtype=bool
+        )
+        # successor transition ids per choice place id, for the per-event
+        # "allowed" masks
+        successors: Dict[int, List[int]] = {}
+        for t_id, pairs in enumerate(cnet.pre_lists):
+            for p_id, _w in pairs:
+                successors.setdefault(p_id, []).append(t_id)
+        self._choice_successors: Dict[int, np.ndarray] = {
+            p_id: np.array(t_ids, dtype=np.int64)
+            for p_id, t_ids in successors.items()
+            if len(t_ids) > 1
+        }
+        # choice signatures repeat heavily across events (a handful of
+        # binary choices), so the deselected-transition column set per
+        # distinct resolution dict is memoized
+        self._deselect_cache: Dict[Tuple[Tuple[str, str], ...], np.ndarray] = {}
+
+    def _deselect_columns(
+        self, signature: Tuple[Tuple[str, str], ...]
+    ) -> np.ndarray:
+        """Transition ids deselected by one event's choice resolutions.
+
+        A transition is deselected when any choice place in its preset
+        resolved to a different successor — the same filter
+        :class:`ReactiveNetSimulator` applies per transition.
+        """
+        columns = self._deselect_cache.get(signature)
+        if columns is None:
+            transition_index = self.cnet.transition_index
+            place_index = self.cnet.place_index
+            ids: set = set()
+            for place, chosen in signature:
+                p_id = place_index.get(place)
+                if p_id is None:
+                    continue
+                successors = self._choice_successors.get(p_id)
+                if successors is None:
+                    continue
+                chosen_id = transition_index.get(chosen, -1)
+                ids.update(successors[successors != chosen_id].tolist())
+            columns = np.array(sorted(ids), dtype=np.int64)
+            self._deselect_cache[signature] = columns
+        return columns
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(
+        self, streams: Sequence[Sequence[Event]], workers: int = 1
+    ) -> FleetResult:
+        """Execute one event stream per instance and return the fleet result.
+
+        ``workers > 1`` shards the instances over a multiprocessing pool
+        (identical results, merged in instance order).
+        """
+        started = time.perf_counter()
+        if workers > 1 and len(streams) > 1:
+            result = self._run_pool(streams, workers)
+        elif self.engine == ENGINE_LEGACY:
+            result = self._run_legacy(streams)
+        else:
+            result = self._run_batched(streams)
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    # Legacy baseline: one reactive simulator, instance by instance
+    # ------------------------------------------------------------------
+    def _run_legacy(self, streams: Sequence[Sequence[Event]]) -> FleetResult:
+        aggregate = ExecutionStats()
+        cycles = np.zeros(len(streams), dtype=np.int64)
+        events = np.zeros(len(streams), dtype=np.int64)
+        simulator = ReactiveNetSimulator(
+            self.net,
+            self.assignment,
+            self.cost,
+            max_firings_per_event=self.max_firings_per_event,
+            engine=ENGINE_LEGACY,
+            on_budget=self.on_budget,
+        )
+        for i, stream in enumerate(streams):
+            simulator.reset()
+            stats = simulator.run(stream)
+            cycles[i] = stats.total_cycles
+            events[i] = stats.events_processed
+            aggregate.merge(stats)
+        return FleetResult(
+            stats=aggregate,
+            instance_cycles=cycles,
+            instance_events=events,
+            engine=self.engine,
+        )
+
+    # ------------------------------------------------------------------
+    # Compiled engine: the (N, P) batch
+    # ------------------------------------------------------------------
+    def _run_batched(self, streams: Sequence[Sequence[Event]]) -> FleetResult:
+        cnet = self.cnet
+        n = len(streams)
+        n_t = len(cnet.transitions)
+        pre = cnet.pre
+        incidence = cnet.incidence
+        fire_cycles = self._fire_cycles
+        module_of = self._module_of
+        nonsource = self._nonsource
+        transition_index = cnet.transition_index
+        activation = self.cost.activation_cycles
+        queue_round_trip = 2 * self.cost.queue_op_cycles
+        budget = self.max_firings_per_event
+        stop_on_budget = self.on_budget == "stop"
+
+        ordered = [sorted(stream, key=lambda e: e.time) for stream in streams]
+        lengths = np.array([len(stream) for stream in ordered], dtype=np.int64)
+
+        markings = np.tile(np.array(cnet.initial, dtype=np.int64), (n, 1))
+        cycles = np.zeros(n, dtype=np.int64)
+        events = np.zeros(n, dtype=np.int64)
+        fire_counts = np.zeros(n_t, dtype=np.int64)
+        activation_counts = np.zeros(len(self._module_names), dtype=np.int64)
+        activation_total = 0
+        body_total = 0
+        queue_total = 0
+        budget_stops = 0
+
+        for round_k in range(int(lengths.max()) if n else 0):
+            rows = np.flatnonzero(lengths > round_k)
+            count = len(rows)
+            # per-round event tables: source ids and data-choice masks,
+            # grouped by choice signature so each distinct resolution
+            # dict costs one batched scatter instead of one per instance
+            src_ids = np.empty(count, dtype=np.int64)
+            allowed = np.ones((count, n_t), dtype=bool)
+            groups: Dict[Tuple[Tuple[str, str], ...], List[int]] = {}
+            for j, i in enumerate(rows):
+                event = ordered[i][round_k]
+                try:
+                    src_ids[j] = transition_index[event.source]
+                except KeyError:
+                    raise NotEnabledError(
+                        f"unknown source transition {event.source!r}"
+                    ) from None
+                if event.choices:
+                    signature = tuple(sorted(event.choices.items()))
+                    groups.setdefault(signature, []).append(j)
+            for signature, members in groups.items():
+                columns = self._deselect_columns(signature)
+                if columns.size:
+                    allowed[np.ix_(np.array(members, dtype=np.int64), columns)] = False
+
+            # dispatch: one activation per event, then fire the source
+            src_modules = module_of[src_ids]
+            if not np.all(markings[rows] >= pre[src_ids]):
+                bad = rows[~np.all(markings[rows] >= pre[src_ids], axis=1)][0]
+                name = ordered[bad][round_k].source
+                raise NotEnabledError(
+                    f"transition {name!r} is not enabled in instance {bad}"
+                )
+            cycles[rows] += activation + fire_cycles[src_ids]
+            np.add.at(activation_counts, src_modules, 1)
+            activation_total += activation * count
+            markings[rows] += incidence[src_ids]
+            np.add.at(fire_counts, src_ids, 1)
+            body_total += int(fire_cycles[src_ids].sum())
+            events[rows] += 1
+
+            # run to quiescence, one batched firing per iteration
+            current_module = src_modules.copy()
+            firings = np.ones(count, dtype=np.int64)
+            active = np.arange(count)
+            while active.size:
+                sub_rows = rows[active]
+                enabled = np.all(
+                    markings[sub_rows][:, np.newaxis, :] >= pre[np.newaxis, :, :],
+                    axis=2,
+                )
+                candidates = enabled & allowed[active] & nonsource[np.newaxis, :]
+                has_candidate = candidates.any(axis=1)
+                active = active[has_candidate]
+                if not active.size:
+                    break
+                candidates = candidates[has_candidate]
+                sub_rows = rows[active]
+                # argmax of a boolean row = first True = lowest transition
+                # id = the legacy "first candidate in insertion order"
+                chosen = candidates.argmax(axis=1)
+                modules = module_of[chosen]
+                crossed = modules != current_module[active]
+                if crossed.any():
+                    crossed_count = int(crossed.sum())
+                    cycles[sub_rows[crossed]] += queue_round_trip + activation
+                    queue_total += queue_round_trip * crossed_count
+                    activation_total += activation * crossed_count
+                    np.add.at(activation_counts, modules[crossed], 1)
+                current_module[active] = modules
+                markings[sub_rows] += incidence[chosen]
+                cycles[sub_rows] += fire_cycles[chosen]
+                np.add.at(fire_counts, chosen, 1)
+                body_total += int(fire_cycles[chosen].sum())
+                firings[active] += 1
+                over = firings[active] > budget
+                if over.any():
+                    if not stop_on_budget:
+                        raise RuntimeError(QUIESCENCE_MESSAGE)
+                    budget_stops += int(over.sum())
+                    active = active[~over]
+
+        stats = ExecutionStats()
+        stats.events_processed = int(events.sum())
+        stats.activation_cycles = activation_total
+        stats.body_cycles = body_total
+        stats.queue_cycles = queue_total
+        stats.total_cycles = activation_total + body_total + queue_total
+        stats.budget_stops = budget_stops
+        stats.activations = {
+            self._module_names[m]: int(c)
+            for m, c in enumerate(activation_counts)
+            if c
+        }
+        stats.firings = {
+            cnet.transitions[t]: int(c) for t, c in enumerate(fire_counts) if c
+        }
+        return FleetResult(
+            stats=stats,
+            instance_cycles=cycles,
+            instance_events=events,
+            engine=self.engine,
+        )
+
+    # ------------------------------------------------------------------
+    # Process-pool sharding
+    # ------------------------------------------------------------------
+    def _run_pool(
+        self, streams: Sequence[Sequence[Event]], workers: int
+    ) -> FleetResult:
+        import multiprocessing
+
+        from ..petrinet.serialization import net_to_json
+
+        effective = min(workers, len(streams))
+        bounds = np.linspace(0, len(streams), effective + 1, dtype=int)
+        chunks = [
+            list(streams[bounds[w] : bounds[w + 1]]) for w in range(effective)
+        ]
+        net_json = net_to_json(self.net)
+        payload = [
+            (
+                net_json,
+                dict(self.assignment.modules),
+                self.cost,
+                self.max_firings_per_event,
+                self.engine,
+                self.on_budget,
+                chunk,
+            )
+            for chunk in chunks
+            if chunk
+        ]
+        with multiprocessing.Pool(len(payload)) as pool:
+            parts = pool.map(_run_fleet_chunk, payload)
+        aggregate = ExecutionStats()
+        for part in parts:
+            aggregate.merge(part.stats)
+        return FleetResult(
+            stats=aggregate,
+            instance_cycles=np.concatenate(
+                [part.instance_cycles for part in parts]
+            ),
+            instance_events=np.concatenate(
+                [part.instance_events for part in parts]
+            ),
+            engine=self.engine,
+        )
+
+
+def _run_fleet_chunk(
+    payload: Tuple[str, Dict[str, str], CostModel, int, str, str, List[Sequence[Event]]]
+) -> FleetResult:  # pragma: no cover - executed inside pool workers
+    from ..petrinet.serialization import net_from_json
+
+    net_json, modules, cost, max_firings, engine, on_budget, streams = payload
+    simulator = FleetSimulator(
+        net_from_json(net_json),
+        ModuleAssignment(modules=modules),
+        cost,
+        max_firings_per_event=max_firings,
+        engine=engine,
+        on_budget=on_budget,
+    )
+    return simulator.run(streams)
+
+
+# ----------------------------------------------------------------------
+# Generic workload synthesis (any net)
+# ----------------------------------------------------------------------
+def synthetic_streams(
+    net: Union[PetriNet, CompiledNet],
+    instances: int,
+    events_per_instance: int,
+    seed: int = 0,
+    mean_interval: float = 1.0,
+) -> List[List[Event]]:
+    """Reproducible per-instance event streams for an arbitrary net.
+
+    Every source transition of the net emits events with exponential
+    inter-arrival times; the per-instance streams are merged in time
+    order and truncated to ``events_per_instance``, and every event
+    carries choice resolutions drawn uniformly over each choice place's
+    successors from a per-instance seeded
+    :class:`~repro.runtime.events.ChoiceSampler`.  Used by the corpus
+    runtime sweep and the differential suite; nets without source
+    transitions yield empty streams.
+    """
+    named = net.decompile() if isinstance(net, CompiledNet) else net
+    sources = named.source_transitions()
+    probabilities = {
+        place: {t: 1.0 for t in named.postset_names(place)}
+        for place in named.choice_places()
+    }
+    streams: List[List[Event]] = []
+    for i in range(instances):
+        if not sources:
+            streams.append([])
+            continue
+        base = seed * 1_000_003 + i * 7_919
+        per_source = [
+            irregular_events(
+                source,
+                mean_interval=mean_interval,
+                count=events_per_instance,
+                seed=base + s_idx,
+            )
+            for s_idx, source in enumerate(sources)
+        ]
+        merged = merge_streams(*per_source)[:events_per_instance]
+        sampler = ChoiceSampler(probabilities, seed=base + 104_729)
+        streams.append(with_choices(merged, sampler))
+    return streams

@@ -15,17 +15,63 @@ model, plus the task/queue overheads their structure implies:
 The simulator processes one input event at a time: it fires the event's
 source transition and then keeps firing data-enabled transitions until
 the net quiesces, which mirrors a run-to-completion reactive execution.
+
+Like every other hot path of the reproduction, the simulator takes
+``engine="compiled"`` (default) or ``engine="legacy"``: the compiled
+engine runs the event loop on the integer-indexed
+:class:`~repro.petrinet.compiled.CompiledNet` view (dense transition
+ids, list-of-int token vectors, generated enabledness checkers), the
+legacy engine on the original string-keyed token game.  Both engines
+produce identical :class:`~repro.runtime.rtos.ExecutionStats`
+(`tests/test_runtime_compiled_differential.py` pins this down); the
+compiled path is what makes large fleets
+(:mod:`repro.runtime.fleet`) affordable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..petrinet import Marking, PetriNet
+from ..petrinet.compiled import (
+    ENGINE_COMPILED,
+    ENGINE_LEGACY,
+    CompiledNet,
+    compile_net,
+    validate_engine,
+)
+from ..petrinet.exceptions import NotEnabledError
 from .cost import CostModel
 from .events import Event
 from .rtos import ExecutionStats
+
+#: What to do when an event's run-to-completion processing exceeds
+#: ``max_firings_per_event``: ``"error"`` raises (the historical
+#: behaviour — a quasi-statically schedulable specification quiesces, so
+#: hitting the bound indicates a broken model), ``"stop"`` abandons the
+#: event after the bound and counts it in ``ExecutionStats.budget_stops``
+#: (used by the corpus runtime sweep, where arbitrary generated nets may
+#: legitimately never quiesce).
+BUDGET_POLICIES = ("error", "stop")
+
+#: The error raised under ``on_budget="error"`` — shared verbatim by the
+#: legacy engine, the compiled engine and the fleet simulator so the
+#: differential suite can pin identical behaviour.
+QUIESCENCE_MESSAGE = (
+    "event processing did not quiesce; the specification is "
+    "probably not schedulable"
+)
+
+
+def validate_budget_policy(on_budget: str) -> str:
+    """Validate an ``on_budget=`` argument, returning it unchanged."""
+    if on_budget not in BUDGET_POLICIES:
+        raise ValueError(
+            f"unknown budget policy {on_budget!r}; expected one of "
+            f"{', '.join(BUDGET_POLICIES)}"
+        )
+    return on_budget
 
 
 @dataclass
@@ -38,12 +84,18 @@ class ModuleAssignment:
         return self.modules[transition]
 
     @classmethod
-    def single_task(cls, net: PetriNet, name: str = "main") -> "ModuleAssignment":
-        return cls(modules={t: name for t in net.transition_names})
+    def single_task(
+        cls, net: Union[PetriNet, CompiledNet], name: str = "main"
+    ) -> "ModuleAssignment":
+        names = net.transitions if isinstance(net, CompiledNet) else net.transition_names
+        return cls(modules={t: name for t in names})
 
     @classmethod
-    def one_task_per_transition(cls, net: PetriNet) -> "ModuleAssignment":
-        return cls(modules={t: f"task_{t}" for t in net.transition_names})
+    def one_task_per_transition(
+        cls, net: Union[PetriNet, CompiledNet]
+    ) -> "ModuleAssignment":
+        names = net.transitions if isinstance(net, CompiledNet) else net.transition_names
+        return cls(modules={t: f"task_{t}" for t in names})
 
     @classmethod
     def from_groups(cls, groups: Mapping[str, Sequence[str]]) -> "ModuleAssignment":
@@ -64,7 +116,9 @@ class ReactiveNetSimulator:
     Parameters
     ----------
     net:
-        The specification.
+        The specification, as a :class:`PetriNet` or a pre-compiled
+        :class:`~repro.petrinet.compiled.CompiledNet` (pass the compiled
+        view when constructing many simulators of the same net).
     assignment:
         Which task each transition belongs to; crossing tasks costs queue
         traffic plus an activation of the target task.
@@ -73,24 +127,81 @@ class ReactiveNetSimulator:
     max_firings_per_event:
         Safety bound against runaway event processing (an unschedulable
         specification could otherwise loop forever).
+    engine:
+        ``"compiled"`` (default) runs the event loop on integer
+        transition ids and list-of-int token vectors; ``"legacy"`` on the
+        original string-keyed token game.  Identical stats either way.
+    on_budget:
+        ``"error"`` (default) raises :class:`RuntimeError` when an event
+        exceeds ``max_firings_per_event``; ``"stop"`` abandons the event
+        and counts it in ``ExecutionStats.budget_stops``.
     """
 
     def __init__(
         self,
-        net: PetriNet,
+        net: Union[PetriNet, CompiledNet],
         assignment: ModuleAssignment,
         cost_model: Optional[CostModel] = None,
         max_firings_per_event: int = 100_000,
+        engine: str = ENGINE_COMPILED,
+        on_budget: str = "error",
     ) -> None:
-        self.net = net
+        self.engine = validate_engine(engine)
+        self.on_budget = validate_budget_policy(on_budget)
         self.assignment = assignment
         self.cost = cost_model or CostModel()
         self.max_firings_per_event = max_firings_per_event
-        self.marking = net.initial_marking
-        self._choice_places = set(net.choice_places())
+        if isinstance(net, CompiledNet):
+            self.net = net.decompile()
+            self._cnet: Optional[CompiledNet] = net
+        else:
+            self.net = net
+            self._cnet = compile_net(net) if engine == ENGINE_COMPILED else None
+        self._choice_places = set(self.net.choice_places())
+        if self.engine == ENGINE_COMPILED:
+            self._prepare_compiled()
+            self._vector: List[int] = list(self._cnet.initial)
+            self._legacy_marking: Optional[Marking] = None
+        else:
+            self._legacy_marking = self.net.initial_marking
+            self._vector = []
+
+    # -- compiled tables -----------------------------------------------------
+    def _prepare_compiled(self) -> None:
+        cnet = self._cnet
+        assert cnet is not None
+        choice_ids = {cnet.place_id(p) for p in self._choice_places}
+        # per transition id: the choice-place ids in its preset (the ones
+        # an event resolution can deselect it through)
+        self._choice_preset: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(p for p, _w in cnet.pre_lists[t] if p in choice_ids)
+            for t in range(len(cnet.transitions))
+        )
+        self._choice_place_ids = choice_ids
+        # per transition id: the cycles one firing charges (body plus the
+        # dispatch test every transition pays)
+        transition_cycles = self.cost.transition_cycles
+        test_cycles = self.cost.test_cycles
+        self._fire_cycles: Tuple[int, ...] = tuple(
+            cost * transition_cycles + test_cycles for cost in cnet.costs
+        )
+        self._has_preset: Tuple[bool, ...] = tuple(
+            bool(pairs) for pairs in cnet.pre_lists
+        )
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def marking(self) -> Marking:
+        """The current marking, decompiled to a named :class:`Marking`."""
+        if self.engine == ENGINE_COMPILED:
+            return self._cnet.marking_from_tuple(self._vector)
+        return self._legacy_marking
 
     def reset(self) -> None:
-        self.marking = self.net.initial_marking
+        if self.engine == ENGINE_COMPILED:
+            self._vector = list(self._cnet.initial)
+        else:
+            self._legacy_marking = self.net.initial_marking
 
     # -- event processing ----------------------------------------------------
     def _data_enabled(self, choices: Mapping[str, str]) -> List[str]:
@@ -98,10 +209,10 @@ class ReactiveNetSimulator:
 
         A successor of a choice place is only data-enabled when the
         event's resolution selects it; all other transitions follow plain
-        token-game enabling.
+        token-game enabling.  (Legacy engine only.)
         """
         enabled = []
-        for transition in self.net.enabled_transitions(self.marking):
+        for transition in self.net.enabled_transitions(self._legacy_marking):
             selected = True
             for place in self.net.preset_names(transition):
                 if place in self._choice_places:
@@ -115,11 +226,24 @@ class ReactiveNetSimulator:
 
     def process_event(self, event: Event, stats: ExecutionStats) -> None:
         """Fire the event's source and run the net to quiescence."""
+        if self.engine == ENGINE_COMPILED:
+            self._process_event_compiled(event, stats)
+        else:
+            self._process_event_legacy(event, stats)
+
+    def _over_budget(self, stats: ExecutionStats) -> bool:
+        """Apply the budget policy; True means "stop processing the event"."""
+        if self.on_budget == "error":
+            raise RuntimeError(QUIESCENCE_MESSAGE)
+        stats.budget_stops += 1
+        return True
+
+    def _process_event_legacy(self, event: Event, stats: ExecutionStats) -> None:
         stats.events_processed += 1
         source = event.source
         current_task = self.assignment.module_of(source)
         stats.record_activation(current_task, self.cost.activation_cycles)
-        self._fire(source, stats)
+        self._fire_legacy(source, stats)
         firings = 1
         while True:
             candidates = self._data_enabled(event.choices)
@@ -135,21 +259,95 @@ class ReactiveNetSimulator:
                 stats.record_queue(2 * self.cost.queue_op_cycles)
                 stats.record_activation(task, self.cost.activation_cycles)
                 current_task = task
-            self._fire(transition, stats)
+            self._fire_legacy(transition, stats)
             firings += 1
-            if firings > self.max_firings_per_event:
-                raise RuntimeError(
-                    "event processing did not quiesce; the specification is "
-                    "probably not schedulable"
-                )
+            if firings > self.max_firings_per_event and self._over_budget(stats):
+                break
 
-    def _fire(self, transition: str, stats: ExecutionStats) -> None:
-        self.marking = self.net.fire(transition, self.marking)
+    def _fire_legacy(self, transition: str, stats: ExecutionStats) -> None:
+        self._legacy_marking = self.net.fire(transition, self._legacy_marking)
         cost = self.net.transition(transition).cost * self.cost.transition_cycles
         # every transition pays a dispatch test, mirroring the generated
         # code's control tests
         cost += self.cost.test_cycles
         stats.record_body(cost, [transition])
+
+    def _process_event_compiled(self, event: Event, stats: ExecutionStats) -> None:
+        cnet = self._cnet
+        stats.events_processed += 1
+        source = event.source
+        current_task = self.assignment.module_of(source)
+        stats.record_activation(current_task, self.cost.activation_cycles)
+        self._fire_compiled(cnet.transition_id(source), stats, check=True)
+        firings = 1
+        resolved = self._resolve_choices(event.choices)
+        while True:
+            t_id = self._first_candidate(resolved)
+            if t_id is None:
+                break
+            task = self.assignment.module_of(cnet.transitions[t_id])
+            if task != current_task:
+                stats.record_queue(2 * self.cost.queue_op_cycles)
+                stats.record_activation(task, self.cost.activation_cycles)
+                current_task = task
+            self._fire_compiled(t_id, stats, check=False)
+            firings += 1
+            if firings > self.max_firings_per_event and self._over_budget(stats):
+                break
+
+    def _resolve_choices(
+        self, choices: Mapping[str, str]
+    ) -> Optional[Dict[int, int]]:
+        """Translate an event's ``{place: transition}`` resolutions to ids.
+
+        A resolution naming an unknown transition maps to ``-1`` (no
+        transition id matches, so every successor of the place is
+        deselected — the legacy string-comparison behaviour).  Places the
+        net does not have, or that are not choice places, are ignored,
+        exactly as the legacy filter ignores them.
+        """
+        if not choices:
+            return None
+        cnet = self._cnet
+        resolved: Dict[int, int] = {}
+        for place, chosen in choices.items():
+            p_id = cnet.place_index.get(place)
+            if p_id is not None and p_id in self._choice_place_ids:
+                resolved[p_id] = cnet.transition_index.get(chosen, -1)
+        return resolved or None
+
+    def _first_candidate(self, resolved: Optional[Dict[int, int]]) -> Optional[int]:
+        """First data-enabled non-source transition id, in insertion order."""
+        has_preset = self._has_preset
+        choice_preset = self._choice_preset
+        for t_id in self._cnet.enabled_transitions(self._vector):
+            if not has_preset[t_id]:
+                continue
+            if resolved:
+                selected = True
+                for p_id in choice_preset[t_id]:
+                    chosen = resolved.get(p_id)
+                    if chosen is not None and chosen != t_id:
+                        selected = False
+                        break
+                if not selected:
+                    continue
+            return t_id
+        return None
+
+    def _fire_compiled(
+        self, t_id: int, stats: ExecutionStats, check: bool
+    ) -> None:
+        cnet = self._cnet
+        vector = self._vector
+        if check and not cnet.is_enabled(t_id, vector):
+            raise NotEnabledError(
+                f"transition {cnet.transitions[t_id]!r} is not enabled "
+                f"in marking {cnet.marking_from_tuple(vector)}"
+            )
+        for p_id, delta in cnet.delta_lists[t_id]:
+            vector[p_id] += delta
+        stats.record_body(self._fire_cycles[t_id], (cnet.transitions[t_id],))
 
     def run(self, events: Sequence[Event]) -> ExecutionStats:
         stats = ExecutionStats()

@@ -8,6 +8,13 @@ are registered against the input events that trigger them, events are
 dispatched in time order, and every activation is charged the cost
 model's activation overhead on top of the cycles reported by the task
 body itself.
+
+The executive takes the same ``engine="compiled"`` (default) /
+``engine="legacy"`` switch as the rest of the stack and forwards it to
+the IR interpreter: ``"compiled"`` executes the task bodies in their
+lowered integer-opcode form, ``"legacy"`` tree-walks the IR statement
+objects directly.  Both engines charge identical cycles
+(`tests/test_runtime_compiled_differential.py`).
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from typing import TYPE_CHECKING
 
+from ..petrinet.compiled import ENGINE_COMPILED
 from .cost import CostModel
 from .events import Event
 
@@ -41,6 +49,9 @@ class ExecutionStats:
         Number of firings per transition across the whole run.
     events_processed:
         Number of input events dispatched.
+    budget_stops:
+        Number of events abandoned by the ``on_budget="stop"`` policy of
+        the reactive/fleet simulators (always 0 under ``"error"``).
     """
 
     total_cycles: int = 0
@@ -50,6 +61,7 @@ class ExecutionStats:
     activations: Dict[str, int] = field(default_factory=dict)
     firings: Dict[str, int] = field(default_factory=dict)
     events_processed: int = 0
+    budget_stops: int = 0
 
     def record_activation(self, task: str, overhead: int) -> None:
         self.activations[task] = self.activations.get(task, 0) + 1
@@ -66,6 +78,19 @@ class ExecutionStats:
         self.queue_cycles += cycles
         self.total_cycles += cycles
 
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate ``other`` into this stats object (fleet aggregation)."""
+        self.total_cycles += other.total_cycles
+        self.activation_cycles += other.activation_cycles
+        self.body_cycles += other.body_cycles
+        self.queue_cycles += other.queue_cycles
+        self.events_processed += other.events_processed
+        self.budget_stops += other.budget_stops
+        for task, count in other.activations.items():
+            self.activations[task] = self.activations.get(task, 0) + count
+        for transition, count in other.firings.items():
+            self.firings[transition] = self.firings.get(transition, 0) + count
+
     @property
     def total_activations(self) -> int:
         return sum(self.activations.values())
@@ -79,6 +104,8 @@ class ExecutionStats:
             f"({self.total_activations} activations)",
             f"  queue traffic  : {self.queue_cycles}",
         ]
+        if self.budget_stops:
+            lines.append(f"  budget stops   : {self.budget_stops}")
         for task, count in sorted(self.activations.items()):
             lines.append(f"  activations[{task}] = {count}")
         return "\n".join(lines)
@@ -90,17 +117,26 @@ class RTOS:
     Each task of the program is triggered by its source transitions; the
     executive dispatches the merged event stream in time order, charging
     one activation per event plus the cycles reported by the task body.
+
+    ``engine`` selects how the task bodies execute: ``"compiled"``
+    (default) runs the lowered integer-opcode form, ``"legacy"``
+    tree-walks the IR statements; see
+    :class:`~repro.codegen.interpreter.TaskExecutor`.
     """
 
     def __init__(
-        self, program: "Program", cost_model: Optional[CostModel] = None
+        self,
+        program: "Program",
+        cost_model: Optional[CostModel] = None,
+        engine: str = ENGINE_COMPILED,
     ) -> None:
         # imported here to keep repro.runtime importable without pulling in
         # repro.codegen (which itself depends on repro.runtime.cost)
         from ..codegen.interpreter import ProgramExecutor
 
         self.cost = cost_model or CostModel()
-        self.executor = ProgramExecutor(program, self.cost)
+        self.engine = engine
+        self.executor = ProgramExecutor(program, self.cost, engine=engine)
         self.program = program
 
     def reset(self) -> None:

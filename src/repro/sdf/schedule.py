@@ -6,6 +6,14 @@ times; if the simulation never blocks, the resulting sequence is a
 Periodic Admissible Sequential Schedule (PASS) — a finite complete cycle
 in Petri net terms.  If the simulation blocks, no schedule exists for the
 given delays (deadlock due to insufficient initial tokens).
+
+The simulation takes the stack-wide ``engine="compiled"`` (default) /
+``engine="legacy"`` switch: the compiled engine maps actors and channels
+to dense integer ids once and fires against int64 token vectors with
+vectorized can-fire tests; the legacy engine is the original string-keyed
+dict loop.  Both produce the identical firing sequence and buffer bounds
+(the demand-driven "first fireable actor in declaration order" rule is
+deterministic either way).
 """
 
 from __future__ import annotations
@@ -13,6 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from ..petrinet.compiled import ENGINE_LEGACY, ENGINE_COMPILED, validate_engine
 from .balance import repetition_vector
 from .graph import SDFError, SDFGraph
 
@@ -50,22 +61,30 @@ class StaticSchedule:
 
 
 def simulate_schedule(
-    graph: SDFGraph, repetition: Optional[Dict[str, int]] = None
+    graph: SDFGraph,
+    repetition: Optional[Dict[str, int]] = None,
+    engine: str = ENGINE_COMPILED,
 ) -> Tuple[List[str], Dict[str, int]]:
     """Simulate one iteration and return ``(sequence, buffer_bounds)``.
 
     The simulator repeatedly fires any actor that still has remaining
     firings and enough input tokens; demand-driven order (actors earlier
     in the topological/insertion order first) keeps buffer bounds small
-    but any admissible order would do for correctness.
+    but any admissible order would do for correctness.  ``engine``
+    selects the integer-indexed vectorized simulation (``"compiled"``,
+    default) or the string-keyed dict loop (``"legacy"``); results are
+    identical.
 
     Raises
     ------
     DeadlockError
         If no actor can fire before all repetition counts are exhausted.
     """
+    validate_engine(engine)
     if repetition is None:
         repetition = repetition_vector(graph)
+    if engine == ENGINE_COMPILED:
+        return _simulate_schedule_compiled(graph, repetition)
     remaining = dict(repetition)
     tokens: Dict[str, int] = {e.channel_name: e.initial_tokens for e in graph.edges}
     bounds: Dict[str, int] = dict(tokens)
@@ -107,25 +126,76 @@ def simulate_schedule(
     return sequence, bounds
 
 
-def static_schedule(graph: SDFGraph) -> StaticSchedule:
+def _simulate_schedule_compiled(
+    graph: SDFGraph, repetition: Dict[str, int]
+) -> Tuple[List[str], Dict[str, int]]:
+    """Integer-indexed PASS simulation (identical results to the dict loop).
+
+    Actors and channels get dense ids; one iteration step is a vectorized
+    can-fire test (``remaining > 0`` and ``tokens >= consumption`` on
+    every in-channel) followed by an incidence-row update of the token
+    vector — ``argmax`` of the boolean mask reproduces the legacy
+    "first fireable actor in declaration order" rule exactly.
+    """
+    actors = list(graph.actor_names)
+    actor_index = {a: i for i, a in enumerate(actors)}
+    edges = list(graph.edges)
+    channels = [e.channel_name for e in edges]
+    n_a, n_c = len(actors), len(edges)
+
+    consumption = np.zeros((n_a, n_c), dtype=np.int64)
+    production = np.zeros((n_a, n_c), dtype=np.int64)
+    for j, edge in enumerate(edges):
+        consumption[actor_index[edge.target], j] += edge.consumption
+        production[actor_index[edge.source], j] += edge.production
+    incidence = production - consumption
+
+    tokens = np.array([e.initial_tokens for e in edges], dtype=np.int64)
+    bounds = tokens.copy()
+    remaining = np.array([repetition.get(a, 0) for a in actors], dtype=np.int64)
+    sequence: List[str] = []
+
+    for _ in range(int(remaining.sum())):
+        fireable = (remaining > 0) & np.all(tokens >= consumption, axis=1)
+        if not fireable.any():
+            blocked = [a for a, left in zip(actors, remaining) if left > 0]
+            raise DeadlockError(
+                f"SDF graph {graph.name!r} deadlocks with actors still to "
+                f"fire: {blocked}"
+            )
+        actor = int(fireable.argmax())
+        tokens += incidence[actor]
+        np.maximum(bounds, tokens, out=bounds)
+        remaining[actor] -= 1
+        sequence.append(actors[actor])
+    return sequence, {channels[j]: int(bounds[j]) for j in range(n_c)}
+
+
+def static_schedule(graph: SDFGraph, engine: str = ENGINE_COMPILED) -> StaticSchedule:
     """Compute a PASS for ``graph``.
+
+    ``engine`` selects the simulation core (``"compiled"`` integer ids /
+    ``"legacy"`` string dicts); the schedule is identical either way.
 
     Raises :class:`~repro.sdf.balance.InconsistentSDFError` when the
     balance equations have no solution and :class:`DeadlockError` when
     the graph is consistent but has insufficient initial tokens.
     """
     repetition = repetition_vector(graph)
-    sequence, bounds = simulate_schedule(graph, repetition)
+    sequence, bounds = simulate_schedule(graph, repetition, engine=engine)
     cost = sum(graph.actor(a).cost * n for a, n in repetition.items())
     return StaticSchedule(
         sequence=sequence, repetition=repetition, buffer_bounds=bounds, cost=cost
     )
 
 
-def is_statically_schedulable(graph: SDFGraph) -> bool:
-    """True if the graph admits a PASS (consistent and deadlock-free)."""
+def is_statically_schedulable(graph: SDFGraph, engine: str = ENGINE_COMPILED) -> bool:
+    """True if the graph admits a PASS (consistent and deadlock-free).
+
+    ``engine`` is forwarded to :func:`static_schedule`.
+    """
     try:
-        static_schedule(graph)
+        static_schedule(graph, engine=engine)
     except SDFError:
         return False
     return True

@@ -114,6 +114,48 @@ class TestGalleryAndTable:
         assert "clock-cycle ratio" in out
 
 
+class TestServe:
+    def test_serve_small_fleet(self, capsys):
+        assert main(["serve", "--instances", "6", "--events", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet of 6 instance(s) (compiled engine)" in out
+        assert "per-instance cycles" in out
+        assert "modules partition" in out
+
+    def test_serve_engines_agree_on_cycles(self, capsys):
+        args = ["serve", "--instances", "4", "--events", "2", "--seed", "9"]
+        assert main(args + ["--engine", "compiled"]) == 0
+        compiled_out = capsys.readouterr().out
+        assert main(args + ["--engine", "legacy"]) == 0
+        legacy_out = capsys.readouterr().out
+        pick = lambda text: [
+            line for line in text.splitlines()
+            if line.startswith(("total cycles", "events processed", "per-instance"))
+        ]
+        assert pick(compiled_out) == pick(legacy_out)
+
+    def test_serve_single_partition_and_workers(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--instances",
+                    "4",
+                    "--events",
+                    "2",
+                    "--partition",
+                    "single",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "single partition" in out
+        assert "queue traffic  : 0" in out
+
+
 class TestCorpus:
     def test_small_parallel_corpus_writes_valid_json(self, tmp_path, capsys):
         json_path = tmp_path / "corpus.json"
@@ -202,6 +244,49 @@ class TestCorpus:
                 assert record["allocations"] >= 1
                 assert record["cycle_lengths"] is not None
         assert data["summary"]["qss"]["swept"] >= 1
+        rebuilt = corpus_to_json_dict(corpus_from_json_dict(data))
+        assert rebuilt == data
+
+    def test_corpus_runtime_sweep_mode(self, tmp_path, capsys):
+        json_path = tmp_path / "runtime.json"
+        assert (
+            main(
+                [
+                    "corpus",
+                    "--n",
+                    "8",
+                    "--workers",
+                    "2",
+                    "--seed",
+                    "3",
+                    "--analyse",
+                    "runtime",
+                    "--json",
+                    str(json_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "runtime mode" in out
+        assert "runtime sweep:" in out
+        data = json.loads(json_path.read_text())
+        assert data["schema"] == CORPUS_SCHEMA
+        assert data["analyse"] == "runtime"
+        swept = 0
+        for record in data["records"]:
+            assert set(record) == set(RECORD_FIELDS)
+            assert record["error"] is None
+            # property and qss passes are skipped in runtime mode
+            assert record["bounded"] is None
+            assert record["schedulable"] is None
+            if record["fleet_instances"] is not None:
+                swept += 1
+                assert record["fleet_events"] > 0
+                assert record["fleet_cycles_total"] > 0
+                assert record["fleet_cycles_p50"] <= record["fleet_cycles_p95"]
+        assert swept >= 1
+        assert data["summary"]["runtime"]["swept"] == swept
         rebuilt = corpus_to_json_dict(corpus_from_json_dict(data))
         assert rebuilt == data
 

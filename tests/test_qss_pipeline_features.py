@@ -291,7 +291,7 @@ class TestCorpusQSSSweep:
 
     def test_sweep_json_round_trip(self, sweep):
         data = corpus_to_json_dict(sweep)
-        assert data["schema"] == CORPUS_SCHEMA == "repro-qss.corpus/2"
+        assert data["schema"] == CORPUS_SCHEMA == "repro-qss.corpus/3"
         assert data["analyse"] == "qss"
         assert data["summary"]["qss"]["swept"] > 0
         assert data["summary"]["qss"]["allocations_total"] >= data["summary"][
