@@ -1,0 +1,82 @@
+"""Shared machine-readable benchmark output.
+
+Benches that carry a performance contract also *record* what they
+measured, so the perf trajectory of the repository is visible in CI
+artifacts instead of only in transient log lines.  The format is one
+JSON file per benchmark family::
+
+    BENCH_<name>.json
+    {
+      "schema": "repro-qss.bench/1",
+      "bench": "<name>",
+      "rows": [ {<free-form row: engine, net, nodes, seconds, ...>}, ... ]
+    }
+
+Rows accumulate: every :func:`record_bench_rows` call appends its rows
+to the named bucket and rewrites the file, so a pytest session that
+runs several contract tests ends with one file holding all of them.
+The first record of a name in a fresh process also preloads whatever
+the file already holds, so separate processes in one workspace — the
+pytest contract pass and the ``--smoke`` pass of a CI job — append to
+each other instead of clobbering.  The output directory defaults to
+the current working directory and can be redirected with
+``BENCH_OUTPUT_DIR`` (CI leaves it at the repo root and uploads the
+files as artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+SCHEMA = "repro-qss.bench/1"
+
+#: In-process accumulator: bench name -> rows recorded so far.
+_ROWS: Dict[str, List[Dict[str, Any]]] = {}
+
+
+def bench_json_path(name: str, directory: Optional[str] = None) -> Path:
+    """Where ``BENCH_<name>.json`` is written."""
+    base = Path(directory or os.environ.get("BENCH_OUTPUT_DIR", "."))
+    return base / f"BENCH_{name}.json"
+
+
+def record_bench_rows(
+    name: str,
+    rows: List[Dict[str, Any]],
+    directory: Optional[str] = None,
+) -> Path:
+    """Append ``rows`` to bench ``name`` and rewrite its JSON file.
+
+    Returns the path written.  A fresh process seeds its bucket from
+    the rows already on disk (if any), so multi-process CI jobs
+    accumulate one trajectory file rather than clobbering each other.
+    """
+    path = bench_json_path(name, directory)
+    bucket = _ROWS.get(name)
+    if bucket is None:
+        bucket = _ROWS[name] = []
+        if path.exists():
+            try:
+                bucket.extend(load_bench_rows(name, directory))
+            except (ValueError, KeyError, OSError):
+                pass  # unreadable/foreign file: start over
+    bucket.extend(rows)
+    path.write_text(
+        json.dumps(
+            {"schema": SCHEMA, "bench": name, "rows": bucket}, indent=2
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_bench_rows(name: str, directory: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Read back the rows of ``BENCH_<name>.json`` (for tests/smokes)."""
+    data = json.loads(bench_json_path(name, directory).read_text(encoding="utf-8"))
+    if data.get("schema") != SCHEMA:
+        raise ValueError(f"unsupported bench schema {data.get('schema')!r}")
+    return data["rows"]

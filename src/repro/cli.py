@@ -23,11 +23,15 @@ Every subcommand returns a process exit code of 0 on success, 1 when the
 analysis reports a negative result (e.g. the net is not schedulable) and
 2 on usage errors, so the tool composes with shell scripts and CI jobs.
 
-Analysis subcommands accept ``--engine {compiled,legacy}`` (default
-``compiled``): ``compiled`` runs on the integer-indexed
-:class:`~repro.petrinet.compiled.CompiledNet` core, ``legacy`` on the
-original dict-based token game.  Both produce identical results; the
-flag exists so either path can be exercised (and timed) from the shell.
+Analysis subcommands accept ``--engine`` (default ``compiled``):
+``compiled`` runs on the integer-indexed
+:class:`~repro.petrinet.compiled.CompiledNet` core and ``legacy`` on
+the original dict-based token game.  The state-space subcommands
+(``analyse``, ``synthesize``, ``gallery``, ``corpus``) additionally
+accept ``frontier`` — the batched vectorized exploration engine of
+:mod:`repro.petrinet.frontier`.  All engines produce identical
+verdicts; the flag exists so each path can be exercised (and timed)
+from the shell.
 """
 
 from __future__ import annotations
@@ -48,7 +52,9 @@ from .codegen import EmitOptions, emit_c, synthesize
 from .gallery import paper_figures
 from .petrinet import (
     ENGINE_COMPILED,
+    ENGINE_FRONTIER,
     ENGINES,
+    SEARCH_ENGINES,
     classify,
     is_free_choice,
     load_net,
@@ -243,13 +249,25 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+def _add_engine_flag(
+    parser: argparse.ArgumentParser, engines: tuple = ENGINES
+) -> None:
+    if ENGINE_FRONTIER in engines:
+        help_text = (
+            "execution core: the integer-indexed compiled engine "
+            "(default), the legacy dict-based token game, or the "
+            "frontier-batched vectorized state-space engine"
+        )
+    else:
+        help_text = (
+            "execution core: the integer-indexed compiled engine "
+            "(default) or the legacy dict-based token game"
+        )
     parser.add_argument(
         "--engine",
-        choices=ENGINES,
+        choices=engines,
         default=ENGINE_COMPILED,
-        help="execution core: the integer-indexed compiled engine "
-        "(default) or the legacy dict-based token game",
+        help=help_text,
     )
 
 
@@ -282,7 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="process pool size for the per-reduction checks; "
         "1 runs sequentially in-process",
     )
-    _add_engine_flag(p_analyse)
+    _add_engine_flag(p_analyse, SEARCH_ENGINES)
     p_analyse.set_defaults(func=cmd_analyse)
 
     p_synth = sub.add_parser("synthesize", help="generate the C implementation")
@@ -293,7 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="wrap each task in while(1) (the paper's listing style)",
     )
-    _add_engine_flag(p_synth)
+    _add_engine_flag(p_synth, SEARCH_ENGINES)
     p_synth.set_defaults(func=cmd_synthesize)
 
     p_dot = sub.add_parser("dot", help="export the net as Graphviz DOT")
@@ -310,7 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the QSS analysis on the figure instead of dumping it",
     )
-    _add_engine_flag(p_gallery)
+    _add_engine_flag(p_gallery, SEARCH_ENGINES)
     p_gallery.set_defaults(func=cmd_gallery)
 
     p_corpus = sub.add_parser(
@@ -359,7 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=2_500,
         help="Karp-Miller node cap per net for the coverability check",
     )
-    _add_engine_flag(p_corpus)
+    _add_engine_flag(p_corpus, SEARCH_ENGINES)
     p_corpus.set_defaults(func=cmd_corpus)
 
     p_serve = sub.add_parser(

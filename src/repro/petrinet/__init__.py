@@ -20,9 +20,11 @@ library) needs from Petri net theory:
 from .builder import NetBuilder
 from .compiled import (
     ENGINE_COMPILED,
+    ENGINE_FRONTIER,
     ENGINE_LEGACY,
     ENGINES,
     OMEGA,
+    SEARCH_ENGINES,
     CompiledNet,
     compile_net,
     validate_engine,
@@ -74,6 +76,12 @@ from .invariants import (
     scale_invariant,
     t_invariants,
     uncovered_transitions,
+)
+from .frontier import (
+    MAX_CYCLE_STATES,
+    FrontierExploration,
+    explore_frontier,
+    frontier_firing_order,
 )
 from .marking import Marking
 from .net import Arc, PetriNet, Place, Transition
@@ -146,10 +154,17 @@ __all__ = [
     "CompiledNet",
     "compile_net",
     "ENGINES",
+    "SEARCH_ENGINES",
     "ENGINE_COMPILED",
     "ENGINE_LEGACY",
+    "ENGINE_FRONTIER",
     "OMEGA",
     "validate_engine",
+    # frontier engine
+    "FrontierExploration",
+    "explore_frontier",
+    "frontier_firing_order",
+    "MAX_CYCLE_STATES",
     # scenario corpus
     "CORPUS_ANALYSES",
     "CORPUS_FAMILIES",

@@ -47,6 +47,14 @@ ENGINE_COMPILED = "compiled"
 ENGINE_LEGACY = "legacy"
 ENGINES = (ENGINE_COMPILED, ENGINE_LEGACY)
 
+#: Third engine offered by the state-space searches (reachability,
+#: coverability, the QSS cycle search): whole BFS frontiers as
+#: ``(N, P)`` numpy matrices instead of one marking at a time.  See
+#: :mod:`repro.petrinet.frontier`.  Analyses that are not searches
+#: (simulators, the runtime) only accept :data:`ENGINES`.
+ENGINE_FRONTIER = "frontier"
+SEARCH_ENGINES = (ENGINE_COMPILED, ENGINE_LEGACY, ENGINE_FRONTIER)
+
 #: A marking in compiled form: token counts indexed by place id.
 MarkingTuple = Tuple[int, ...]
 
@@ -58,11 +66,17 @@ MarkingTuple = Tuple[int, ...]
 OMEGA = -1
 
 
-def validate_engine(engine: str) -> str:
-    """Validate an ``engine=`` argument, returning it unchanged."""
-    if engine not in ENGINES:
+def validate_engine(engine: str, engines: Tuple[str, ...] = ENGINES) -> str:
+    """Validate an ``engine=`` argument, returning it unchanged.
+
+    ``engines`` is the tuple of engines the calling analysis supports:
+    :data:`ENGINES` (the default) for token-game/runtime paths, or
+    :data:`SEARCH_ENGINES` for the state-space searches that also offer
+    the frontier-batched engine.
+    """
+    if engine not in engines:
         raise ValueError(
-            f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
+            f"unknown engine {engine!r}; expected one of {', '.join(engines)}"
         )
     return engine
 
@@ -341,11 +355,25 @@ class CompiledNet:
         ``markings`` is a token vector of shape ``(P,)`` or a batch of
         shape ``(N, P)``; the result is a boolean array of shape ``(T,)``
         or ``(N, T)`` with ``True`` where the transition is enabled.
+
+        Callers that already hold an int64 array (the fleet simulator,
+        the frontier exploration engine) hit a zero-copy fast path; any
+        other input pays exactly one :func:`numpy.asarray` conversion.
+        Inputs of more than two dimensions are rejected rather than
+        silently broadcast wrong.
         """
-        m = np.asarray(markings, dtype=np.int64)
+        if isinstance(markings, np.ndarray) and markings.dtype == np.int64:
+            m = markings
+        else:
+            m = np.asarray(markings, dtype=np.int64)
         if m.ndim == 1:
             return np.all(m[np.newaxis, :] >= self.pre, axis=1)
-        return np.all(m[:, np.newaxis, :] >= self.pre[np.newaxis, :, :], axis=2)
+        if m.ndim == 2:
+            return np.all(m[:, np.newaxis, :] >= self.pre[np.newaxis, :, :], axis=2)
+        raise ValueError(
+            f"markings must be a (P,) vector or an (N, P) batch, got a "
+            f"{m.ndim}-D array"
+        )
 
     def fire(self, transition: int, marking: MarkingTuple) -> MarkingTuple:
         """Fire transition id ``transition``, returning the new marking.

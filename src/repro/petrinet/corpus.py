@@ -39,7 +39,7 @@ JSON schema (``schema`` = ``repro-qss.corpus/3``)::
       "schema": "repro-qss.corpus/3",
       "n": <number of records>,
       "workers": <pool size used>,
-      "engine": "compiled" | "legacy",
+      "engine": "compiled" | "legacy" | "frontier",
       "analyse": "properties" | "qss",
       "elapsed_seconds": <wall-clock of the whole run>,
       "records": [
@@ -100,7 +100,15 @@ from typing import (
     Tuple,
 )
 
-from .compiled import ENGINE_COMPILED, CompiledNet, compile_net, validate_engine
+from .compiled import (
+    ENGINE_COMPILED,
+    ENGINE_FRONTIER,
+    ENGINE_LEGACY,
+    SEARCH_ENGINES,
+    CompiledNet,
+    compile_net,
+    validate_engine,
+)
 from .generators import (
     choice_fan_net,
     fork_join_pipeline,
@@ -508,7 +516,7 @@ def analyse_spec(
     )
     from .structure import classify, is_free_choice
 
-    validate_engine(engine)
+    validate_engine(engine, SEARCH_ENGINES)
     validate_corpus_analyse(analyse)
     started = time.perf_counter()
     record = CorpusRecord(family=spec.family, seed=spec.seed, params=spec.param_dict)
@@ -523,7 +531,7 @@ def analyse_spec(
 
         if analyse == "properties":
             analysed: Any = (
-                _cached_compiled(spec) if engine == ENGINE_COMPILED else net
+                net if engine == ENGINE_LEGACY else _cached_compiled(spec)
             )
             coverability = coverability_analysis(
                 analysed, max_nodes=max_nodes, engine=engine
@@ -551,7 +559,7 @@ def analyse_spec(
             )
             record.exploration_complete = graph.complete
             if graph.complete:
-                record.reachable_markings = len(graph.markings)
+                record.reachable_markings = graph.num_markings
                 record.deadlocks = len(graph.deadlock_markings())
                 record.deadlock_free = record.deadlocks == 0
                 # the liveness verdict reuses the graph built above instead
@@ -587,12 +595,15 @@ def _runtime_sweep(spec: NetSpec, record: CorpusRecord, engine: str) -> None:
     streams = synthetic_streams(
         net, FLEET_SWEEP_INSTANCES, FLEET_SWEEP_EVENTS, seed=spec.seed
     )
-    target: Any = _cached_compiled(spec) if engine == ENGINE_COMPILED else net
+    # the fleet is a token-game executor, not a search: the frontier
+    # engine has nothing to add there and maps to the compiled core
+    fleet_engine = ENGINE_COMPILED if engine == ENGINE_FRONTIER else engine
+    target: Any = net if fleet_engine == ENGINE_LEGACY else _cached_compiled(spec)
     fleet = FleetSimulator(
         target,
         ModuleAssignment.single_task(net),
         max_firings_per_event=FLEET_SWEEP_BUDGET,
-        engine=engine,
+        engine=fleet_engine,
         on_budget="stop",
     )
     result = fleet.run(streams)
@@ -653,9 +664,10 @@ def run_corpus(
     the baseline the parallel path is benchmarked against.  Results come
     back in spec order either way.  ``analyse`` selects the pipeline per
     net: the full property pipeline (``"properties"``, default) or the
-    QSS schedulability sweep (``"qss"``).
+    QSS schedulability sweep (``"qss"``).  ``engine`` is any of the
+    search engines (``compiled``/``legacy``/``frontier``).
     """
-    validate_engine(engine)
+    validate_engine(engine, SEARCH_ENGINES)
     validate_corpus_analyse(analyse)
     started = time.perf_counter()
     if workers <= 1 or len(specs) <= 1:

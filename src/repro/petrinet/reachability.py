@@ -19,24 +19,28 @@ tree with omega-acceleration is used.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import compress
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
+from .exceptions import UnknownNodeError
+
 from .compiled import (
     ENGINE_COMPILED,
+    ENGINE_FRONTIER,
     ENGINE_LEGACY,
     OMEGA,
+    SEARCH_ENGINES,
     CompiledNet,
     validate_engine,
 )
+from .frontier import FrontierExploration, explore_frontier
 from .marking import Marking
 from .net import PetriNet
 
 
-@dataclass
 class ReachabilityGraph:
     """Explicit reachability graph of a (bounded portion of a) net.
 
@@ -50,19 +54,104 @@ class ReachabilityGraph:
         True if exploration finished without hitting the node limit; the
         boundedness/deadlock/liveness answers are only exact when the
         graph is complete.
+
+    Graphs built by the frontier engine
+    (:meth:`from_exploration`) keep the discovered markings as one
+    ``(N, P)`` integer matrix and the edges as three parallel arrays;
+    the named ``markings``/``edges`` views above materialize lazily on
+    first access, so analyses that only need counts or the integer
+    structure (deadlock detection, liveness) never pay for N ``Marking``
+    dictionaries.  Either way the materialized views are identical to
+    what the compiled engine builds eagerly.
     """
 
-    markings: List[Marking] = field(default_factory=list)
-    edges: List[Tuple[int, str, int]] = field(default_factory=list)
-    complete: bool = True
-    _index: Dict[Marking, int] = field(
-        default_factory=dict, repr=False, compare=False
-    )
+    def __init__(
+        self,
+        markings: Optional[List[Marking]] = None,
+        edges: Optional[List[Tuple[int, str, int]]] = None,
+        complete: bool = True,
+    ) -> None:
+        self._markings: List[Marking] = list(markings) if markings is not None else []
+        self._edges: List[Tuple[int, str, int]] = (
+            list(edges) if edges is not None else []
+        )
+        self.complete = complete
+        self._index: Dict[Marking, int] = {}
+        # successors() adjacency cache (rebuilt lazily when `edges` or
+        # `markings` grew since it was built — see successors())
+        self._adjacency: Optional[List[List[Tuple[str, int]]]] = None
+        self._adjacency_shape: Tuple[int, int] = (-1, -1)
+        # lazy (frontier) storage; None on eagerly-built graphs
+        self._compiled: Optional[CompiledNet] = None
+        self._exploration: Optional[FrontierExploration] = None
+
+    @classmethod
+    def from_exploration(
+        cls, compiled: CompiledNet, exploration: FrontierExploration
+    ) -> "ReachabilityGraph":
+        """Wrap a frontier exploration without materializing named views."""
+        graph = cls(complete=exploration.complete)
+        graph._compiled = compiled
+        graph._exploration = exploration
+        return graph
+
+    # ------------------------------------------------------------------
+    # Lazy materialization
+    # ------------------------------------------------------------------
+    @property
+    def num_markings(self) -> int:
+        """Number of discovered markings, without materializing them."""
+        if self._exploration is not None and not self._markings:
+            return self._exploration.node_count
+        return len(self._markings)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of discovered edges, without materializing them."""
+        if self._exploration is not None and not self._edges:
+            return self._exploration.edge_count
+        return len(self._edges)
+
+    @property
+    def markings(self) -> List[Marking]:
+        if self._exploration is not None and not self._markings:
+            compiled = self._compiled
+            assert compiled is not None
+            places = compiled.places
+            from_clean = Marking._from_clean
+            self._markings = [
+                from_clean(dict(zip(compress(places, m), compress(m, m))))
+                for m in self._exploration.matrix.tolist()
+            ]
+        return self._markings
+
+    @property
+    def edges(self) -> List[Tuple[int, str, int]]:
+        exploration = self._exploration
+        if exploration is not None and not self._edges and exploration.edge_count:
+            compiled = self._compiled
+            assert compiled is not None
+            names = compiled.transitions
+            self._edges = list(
+                zip(
+                    exploration.edge_src.tolist(),
+                    [names[t] for t in exploration.edge_transition.tolist()],
+                    exploration.edge_dst.tolist(),
+                )
+            )
+        return self._edges
 
     @property
     def initial(self) -> Marking:
-        return self.markings[0]
+        if self._exploration is not None and not self._markings:
+            compiled = self._compiled
+            assert compiled is not None
+            return compiled.marking_from_tuple(self._exploration.matrix[0])
+        return self._markings[0]
 
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     def _ensure_index(self) -> Dict[Marking, int]:
         # built lazily: graphs constructed from a finished exploration
         # only pay for the hash map when a lookup is actually needed
@@ -73,8 +162,9 @@ class ReachabilityGraph:
     def add_marking(self, marking: Marking) -> int:
         """Append a marking (must be new) and return its index."""
         index_map = self._ensure_index()
-        index = len(self.markings)
-        self.markings.append(marking)
+        markings = self.markings
+        index = len(markings)
+        markings.append(marking)
         index_map[marking] = index
         return index
 
@@ -82,16 +172,62 @@ class ReachabilityGraph:
         return self._ensure_index().get(marking)
 
     def successors(self, index: int) -> List[Tuple[str, int]]:
-        return [(t, dst) for src, t, dst in self.edges if src == index]
+        """Outgoing ``(transition, target index)`` edges of one marking.
+
+        Backed by an adjacency list built once and reused — repeated
+        calls (liveness/deadlock sweeps touch every node) are O(degree)
+        instead of a fresh O(E) scan per call.  The cache notices when
+        ``edges`` or ``markings`` grew since it was built and rebuilds
+        lazily.
+        """
+        edges = self.edges
+        shape = (self.num_markings, len(edges))
+        if self._adjacency is None or self._adjacency_shape != shape:
+            adjacency: List[List[Tuple[str, int]]] = [[] for _ in range(shape[0])]
+            for src, transition, dst in edges:
+                adjacency[src].append((transition, dst))
+            self._adjacency = adjacency
+            self._adjacency_shape = shape
+        return list(self._adjacency[index])
 
     def deadlock_markings(self) -> List[Marking]:
         """Markings with no outgoing edge (no enabled transition)."""
+        exploration = self._exploration
+        if exploration is not None and not self._markings and not self._edges:
+            # frontier graphs answer from the integer arrays and only
+            # decompile the deadlocked markings themselves
+            compiled = self._compiled
+            assert compiled is not None
+            has_out = np.zeros(exploration.node_count, dtype=bool)
+            has_out[exploration.edge_src] = True
+            return [
+                compiled.marking_from_tuple(exploration.matrix[i])
+                for i in np.flatnonzero(~has_out)
+            ]
         with_successors = {src for src, _, _ in self.edges}
         return [
             marking
             for i, marking in enumerate(self.markings)
             if i not in with_successors
         ]
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReachabilityGraph):
+            return NotImplemented
+        return (
+            self.complete == other.complete
+            and self.markings == other.markings
+            and self.edges == other.edges
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ReachabilityGraph(markings={self.num_markings}, "
+            f"edges={self.num_edges}, complete={self.complete})"
+        )
 
 
 def build_reachability_graph(
@@ -109,19 +245,30 @@ def build_reachability_graph(
     ``engine`` selects the execution core: ``"compiled"`` (default)
     explores integer marking tuples on the net's
     :class:`~repro.petrinet.compiled.CompiledNet` view and decompiles
-    the discovered markings at the end; ``"legacy"`` runs the original
-    dict-based token game.  Both engines visit the same markings in the
-    same BFS order, so the resulting graphs are identical.
+    the discovered markings at the end; ``"frontier"`` explores whole
+    BFS levels as ``(N, P)`` numpy matrices
+    (:mod:`repro.petrinet.frontier`) and materializes the named
+    markings/edges lazily; ``"legacy"`` runs the original dict-based
+    token game.  All engines visit the same markings in the same BFS
+    order, so the resulting graphs are identical.
     """
-    validate_engine(engine)
+    validate_engine(engine, SEARCH_ENGINES)
     if isinstance(net, CompiledNet):
         if engine == ENGINE_LEGACY:
             raise ValueError(
                 "engine='legacy' needs a PetriNet; pass net.decompile() to "
                 "run the dict-based exploration on a compiled net"
             )
+        if engine == ENGINE_FRONTIER:
+            return _build_reachability_graph_frontier(
+                net, max_markings=max_markings, marking=marking
+            )
         return _build_reachability_graph_compiled(
             net, max_markings=max_markings, marking=marking
+        )
+    if engine == ENGINE_FRONTIER:
+        return _build_reachability_graph_frontier(
+            net.compile(), max_markings=max_markings, marking=marking
         )
     if engine == ENGINE_COMPILED:
         return _build_reachability_graph_compiled(
@@ -207,6 +354,24 @@ def _build_reachability_graph_compiled(
     return ReachabilityGraph(markings=decompiled, edges=edges, complete=complete)
 
 
+def _build_reachability_graph_frontier(
+    compiled: CompiledNet, max_markings: int, marking: Optional[Marking]
+) -> ReachabilityGraph:
+    """Frontier-batched BFS (see :mod:`repro.petrinet.frontier`).
+
+    Visits markings in exactly the compiled engine's order — same node
+    numbering, same edge list, same cutoff point — but keeps the graph
+    in integer-array form; the named views materialize on demand.
+    """
+    start = (
+        compiled.marking_to_tuple(marking) if marking is not None else None
+    )
+    exploration = explore_frontier(
+        compiled, start=start, max_markings=max_markings
+    )
+    return ReachabilityGraph.from_exploration(compiled, exploration)
+
+
 def is_reachable(
     net: Union[PetriNet, CompiledNet],
     target: Marking,
@@ -215,7 +380,33 @@ def is_reachable(
     engine: str = ENGINE_COMPILED,
 ) -> bool:
     """True if ``target`` is reachable from ``marking`` (exact for bounded
-    nets explored within the limit)."""
+    nets explored within the limit).
+
+    The frontier engine answers without building a graph: the
+    exploration stops as soon as the target marking is discovered, so
+    positive answers on large state spaces return early.
+    """
+    validate_engine(engine, SEARCH_ENGINES)
+    if engine == ENGINE_FRONTIER:
+        compiled = net if isinstance(net, CompiledNet) else net.compile()
+        try:
+            target_tuple = compiled.marking_to_tuple(target)
+        except UnknownNodeError:
+            # tokens on a place this net does not have: unreachable, the
+            # same verdict the graph-membership engines give
+            return False
+        start = (
+            compiled.marking_to_tuple(marking) if marking is not None else None
+        )
+        exploration = explore_frontier(
+            compiled,
+            start=start,
+            max_markings=max_markings,
+            target=target_tuple,
+            stop_on_target=True,
+            collect_edges=False,
+        )
+        return exploration.target_index is not None
     graph = build_reachability_graph(
         net, max_markings=max_markings, marking=marking, engine=engine
     )
@@ -281,15 +472,29 @@ def coverability_analysis(
     trees are sensitive to exploration order), so the results —
     boundedness, unbounded places, node count and place bounds — are
     identical and cross-checkable.
+
+    ``"frontier"`` first runs the batched plain-reachability exploration
+    as a *bounded-prefix fast path*: if the whole state space fits
+    within ``max_nodes`` the net is bounded and the per-place bounds
+    are the exact column maxima of the marking matrix (on bounded nets
+    the Karp–Miller construction never accelerates, so its node set and
+    bounds coincide with plain reachability).  If the prefix is
+    truncated — the net is unbounded, or simply bigger than the cap —
+    the engine defers to the compiled Karp–Miller construction, whose
+    omega verdict is the only finite way to prove unboundedness.
     """
-    validate_engine(engine)
+    validate_engine(engine, SEARCH_ENGINES)
     if isinstance(net, CompiledNet):
         if engine == ENGINE_LEGACY:
             raise ValueError(
                 "engine='legacy' needs a PetriNet; pass net.decompile() to "
                 "run the dict-based coverability on a compiled net"
             )
+        if engine == ENGINE_FRONTIER:
+            return _coverability_analysis_frontier(net, marking, max_nodes)
         return _coverability_analysis_compiled(net, marking, max_nodes)
+    if engine == ENGINE_FRONTIER:
+        return _coverability_analysis_frontier(net.compile(), marking, max_nodes)
     if engine == ENGINE_COMPILED:
         return _coverability_analysis_compiled(net.compile(), marking, max_nodes)
     places = tuple(net.place_names)
@@ -364,6 +569,41 @@ def coverability_analysis(
         unbounded_places=sorted(unbounded),
         node_count=node_count,
         place_bounds=bounds,
+    )
+
+
+def _coverability_analysis_frontier(
+    compiled: CompiledNet, marking: Optional[Marking], max_nodes: int
+) -> CoverabilityResult:
+    """Bounded-prefix fast path backed by the frontier exploration.
+
+    A complete plain-reachability exploration within ``max_nodes`` *is*
+    a boundedness proof: no reachable marking was truncated, so every
+    place's exact bound is the column maximum of the marking matrix.
+    On bounded nets the Karp–Miller tree never accelerates (a strict
+    cover would pump tokens without bound), so node count and bounds
+    agree with the compiled engine exactly.  A truncated prefix proves
+    nothing — unbounded nets never finish — and defers to the compiled
+    Karp–Miller construction wholesale, making the frontier verdicts
+    identical to the compiled ones on every net.
+    """
+    start = (
+        compiled.marking_to_tuple(marking) if marking is not None else None
+    )
+    exploration = explore_frontier(
+        compiled, start=start, max_markings=max_nodes, collect_edges=False
+    )
+    if not exploration.complete:
+        return _coverability_analysis_compiled(compiled, marking, max_nodes)
+    bounds = exploration.matrix.max(axis=0)
+    return CoverabilityResult(
+        bounded=True,
+        unbounded_places=[],
+        node_count=exploration.node_count,
+        place_bounds={
+            place: int(bound) for place, bound in zip(compiled.places, bounds)
+        },
+        complete=True,
     )
 
 
@@ -643,7 +883,7 @@ def live_verdict(graph: ReachabilityGraph, all_transitions: Set[str]) -> bool:
             "liveness is only decided exactly on nets whose reachability "
             "graph fits within the exploration limit"
         )
-    n = len(graph.markings)
+    n = graph.num_markings
     successors: List[List[int]] = [[] for _ in range(n)]
     for src, _, dst in graph.edges:
         successors[src].append(dst)

@@ -48,14 +48,25 @@ from typing import (
 import numpy as np
 
 from ..petrinet import CompiledNet, Marking, PetriNet, compile_net
-from ..petrinet.compiled import MarkingTuple
+from ..petrinet.compiled import (
+    ENGINE_COMPILED,
+    ENGINE_FRONTIER,
+    SEARCH_ENGINES,
+    MarkingTuple,
+    validate_engine,
+)
 from ..petrinet.exceptions import NotFreeChoiceError
+from ..petrinet.frontier import named_firing_order
 from ..petrinet.invariants import fast_minimal_semiflows
 from ..petrinet.simulation import search_firing_order
 from ..petrinet.structure import is_free_choice
 from .allocation import TAllocation
 
 NetLike = Union[PetriNet, CompiledNet]
+
+#: Sentinel returned by the frontier cycle search when its state budget
+#: ran out before a verdict; the caller then falls back to the DFS.
+_UNDECIDED = object()
 
 
 class QSSContext:
@@ -629,13 +640,32 @@ class CompiledReduction:
         return invariants  # type: ignore[return-value]
 
     def find_firing_sequence(
-        self, firing_counts: Mapping[str, int], start: MarkingTuple
+        self,
+        firing_counts: Mapping[str, int],
+        start: MarkingTuple,
+        engine: str = ENGINE_COMPILED,
     ) -> Optional[List[str]]:
         """Executable ordering of ``firing_counts`` under masked semantics.
 
         Same memoized DFS (and candidate order) as the legacy engines,
         running on parent marking tuples filtered through the masks.
+
+        ``engine="frontier"`` instead runs the level-synchronous batched
+        BFS of :func:`repro.petrinet.frontier.frontier_firing_order` on
+        the reduction's masked incidence submatrix — the preset and
+        incidence rows of the counted transitions restricted to the
+        surviving place columns, so arcs to removed places are ignored
+        exactly as the masked scalar tables ignore them.  Feasibility
+        agrees with the DFS on every input (both searches are complete;
+        a blown state budget falls back to the DFS), but the returned
+        interleaving may differ.  ``"compiled"`` and ``"legacy"`` both
+        run the DFS — the masked tables *are* the compiled form.
         """
+        validate_engine(engine, SEARCH_ENGINES)
+        if engine == ENGINE_FRONTIER:
+            sequence = self._find_firing_sequence_frontier(firing_counts, start)
+            if sequence is not _UNDECIDED:
+                return sequence  # type: ignore[return-value]
         transition_index = self.context.compiled.transition_index
         remaining: Dict[int, int] = {}
         for name, count in firing_counts.items():
@@ -664,11 +694,36 @@ class CompiledReduction:
         names = self.context.compiled.transitions
         return [names[t] for t in sequence]
 
+    def _find_firing_sequence_frontier(self, firing_counts, start):
+        """Masked-submatrix frontier search; ``_UNDECIDED`` on a blown budget."""
+        compiled = self.context.compiled
+        names = [name for name, count in firing_counts.items() if count > 0]
+        if not names:
+            return []
+        t_ids = np.array(
+            [compiled.transition_index[n] for n in names], dtype=np.int64
+        )
+        p_ids = np.array(self.place_ids, dtype=np.int64)
+        selector = np.ix_(t_ids, p_ids)
+        sequence, decided = named_firing_order(
+            compiled.pre[selector],
+            compiled.incidence[selector],
+            np.asarray(start, dtype=np.int64)[p_ids],
+            names,
+            firing_counts,
+        )
+        if not decided:
+            return _UNDECIDED
+        return sequence
+
     def find_finite_complete_cycle(
-        self, firing_counts: Mapping[str, int], start: MarkingTuple
+        self,
+        firing_counts: Mapping[str, int],
+        start: MarkingTuple,
+        engine: str = ENGINE_COMPILED,
     ) -> Optional[List[str]]:
         """A firing sequence realizing the counts and returning to ``start``."""
-        sequence = self.find_firing_sequence(firing_counts, start)
+        sequence = self.find_firing_sequence(firing_counts, start, engine=engine)
         if sequence is None:
             return None
         transition_index = self.context.compiled.transition_index

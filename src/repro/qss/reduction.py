@@ -22,6 +22,8 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tup
 
 from ..petrinet import (
     ENGINE_COMPILED,
+    ENGINE_LEGACY,
+    SEARCH_ENGINES,
     CompiledNet,
     PetriNet,
     validate_engine,
@@ -259,10 +261,12 @@ def enumerate_reductions(
         and materializes a :class:`TReduction` only once per *distinct*
         reduction; ``"legacy"`` rebuilds a subnet per allocation, as the
         original algorithm did.  Both return identical reductions in
-        identical order.
+        identical order (``"frontier"`` enumerates exactly like
+        ``"compiled"`` — the engines only differ downstream, in the
+        per-reduction cycle search).
     """
-    validate_engine(engine)
-    if engine == ENGINE_COMPILED:
+    validate_engine(engine, SEARCH_ENGINES)
+    if engine != ENGINE_LEGACY:
         from .compiled_reduction import iter_compiled_reductions
 
         return [
@@ -294,11 +298,12 @@ def enumerate_reductions(
 def count_distinct_reductions(net: PetriNet, engine: str = ENGINE_COMPILED) -> int:
     """Number of distinct T-reductions (the size of a valid schedule).
 
-    With the default compiled engine the count streams over reduction
-    masks without building a single subnet.
+    With the default compiled engine (or the frontier engine, which
+    enumerates identically) the count streams over reduction masks
+    without building a single subnet.
     """
-    validate_engine(engine)
-    if engine == ENGINE_COMPILED:
+    validate_engine(engine, SEARCH_ENGINES)
+    if engine != ENGINE_LEGACY:
         from .compiled_reduction import iter_compiled_reductions
 
         return sum(1 for _ in iter_compiled_reductions(net))

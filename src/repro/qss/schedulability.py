@@ -23,6 +23,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..petrinet import (
     ENGINE_COMPILED,
+    ENGINE_LEGACY,
+    SEARCH_ENGINES,
     Marking,
     PetriNet,
     combine_invariants,
@@ -212,11 +214,16 @@ def check_reduction(
     :class:`~repro.petrinet.compiled.CompiledNet` view — compiled once
     per reduction and reused across the ``MAX_CYCLE_SCALE`` attempts and
     across repeated checks during the allocation enumeration.
+    ``engine="frontier"`` runs the cycle search as a batched BFS over
+    ``(marking, remaining counts)`` frontiers on the same compiled view;
+    verdicts agree with the other engines (the searches are equally
+    complete), though the cycle found may be a different valid
+    interleaving.
     """
-    validate_engine(engine)
+    validate_engine(engine, SEARCH_ENGINES)
     reduced = reduction.net
     start = marking if marking is not None else reduced.initial_marking
-    target = reduction.compiled if engine == ENGINE_COMPILED else reduced
+    target = reduced if engine == ENGINE_LEGACY else reduction.compiled
     return _definition_35_verdict(
         reduction,
         needed=reduced.transition_names,
@@ -232,6 +239,7 @@ def check_reduction(
 def check_compiled_reduction(
     reduction: CompiledReduction,
     marking: Optional[Marking] = None,
+    engine: str = ENGINE_COMPILED,
 ) -> ReductionVerdict:
     """Check Definition 3.5 for one mask-based T-reduction.
 
@@ -243,6 +251,11 @@ def check_compiled_reduction(
     and no per-reduction compilation exist at any point.  Produces
     verdicts (including cycles and diagnostics) identical to the legacy
     check for the same reduction.
+
+    ``engine`` selects the condition (3) cycle search: the sequential
+    DFS (``"compiled"``, default) or the batched frontier BFS on the
+    reduction's masked incidence submatrix (``"frontier"``); verdicts
+    are identical either way.
     """
     start = (
         reduction.restrict_marking(marking)
@@ -256,7 +269,7 @@ def check_compiled_reduction(
         invariants=reduction.t_invariants(),
         source_places=reduction.source_places(),
         find_cycle=lambda scaled: reduction.find_finite_complete_cycle(
-            scaled, start
+            scaled, start, engine=engine
         ),
     )
 

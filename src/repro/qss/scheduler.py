@@ -24,7 +24,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..petrinet import ENGINE_COMPILED, ENGINE_LEGACY, Marking, PetriNet, validate_engine
+from ..petrinet import (
+    ENGINE_COMPILED,
+    ENGINE_LEGACY,
+    SEARCH_ENGINES,
+    Marking,
+    PetriNet,
+    validate_engine,
+)
 from ..petrinet.exceptions import NotFreeChoiceError, NotSchedulableError
 from ..petrinet.structure import is_free_choice
 from .allocation import TAllocation, count_allocations
@@ -128,7 +135,7 @@ def _init_qss_worker(
         Marking(marking_tokens) if marking_tokens is not None else None
     )
     _QSS_WORKER["engine"] = engine
-    _QSS_WORKER["context"] = QSSContext(net) if engine == ENGINE_COMPILED else None
+    _QSS_WORKER["context"] = QSSContext(net) if engine != ENGINE_LEGACY else None
 
 
 def _check_allocation_worker(
@@ -137,9 +144,10 @@ def _check_allocation_worker(
     """Pool task: re-derive the reduction for one allocation and check it."""
     allocation = TAllocation(choices=choices)
     marking = _QSS_WORKER["marking"]
-    if _QSS_WORKER["engine"] == ENGINE_COMPILED:
+    engine = _QSS_WORKER["engine"]
+    if engine != ENGINE_LEGACY:
         reduction = _QSS_WORKER["context"].reduce(allocation)
-        verdict = check_compiled_reduction(reduction, marking)
+        verdict = check_compiled_reduction(reduction, marking, engine=engine)
     else:
         reduction = reduce_net(_QSS_WORKER["net"], allocation)
         verdict = check_reduction(
@@ -210,6 +218,11 @@ def analyse(
     zero per-allocation net rebuilds or recompiles — while ``"legacy"``
     rebuilds and checks a Python subnet per allocation, as the original
     implementation did.  Both produce identical verdicts and cycles.
+    ``"frontier"`` uses the same streaming mask pipeline but runs each
+    reduction's cycle search as a batched BFS over its masked incidence
+    submatrix (:mod:`repro.petrinet.frontier`); verdicts, counts and
+    cycle lengths are identical to the other engines, though the cycles
+    themselves may be different valid interleavings.
 
     Parameters
     ----------
@@ -233,14 +246,14 @@ def analyse(
     NotFreeChoiceError
         If ``require_free_choice`` is True and the net is not free-choice.
     """
-    validate_engine(engine)
+    validate_engine(engine, SEARCH_ENGINES)
     if require_free_choice and not is_free_choice(net):
         raise NotFreeChoiceError(
             f"net {net.name!r} is not a Free-Choice Petri Net; the QSS "
             "algorithm is only defined (and complete) for FCPNs"
         )
     complete = True
-    if engine == ENGINE_COMPILED:
+    if engine != ENGINE_LEGACY:
         context = QSSContext(net)
         if workers > 1:
             reductions: List[Any] = list(
@@ -257,7 +270,9 @@ def analyse(
                 # sequential loop (including fail_fast semantics)
                 verdicts = []
                 for reduction in reductions:
-                    verdict = check_compiled_reduction(reduction, marking)
+                    verdict = check_compiled_reduction(
+                        reduction, marking, engine=engine
+                    )
                     verdicts.append(verdict)
                     if fail_fast and not verdict.schedulable:
                         complete = False
@@ -267,7 +282,7 @@ def analyse(
             for reduction in iter_compiled_reductions(
                 net, context=context, require_free_choice=False
             ):
-                verdict = check_compiled_reduction(reduction, marking)
+                verdict = check_compiled_reduction(reduction, marking, engine=engine)
                 verdicts.append(verdict)
                 if fail_fast and not verdict.schedulable:
                     complete = False
@@ -369,7 +384,7 @@ class QuasiStaticScheduler:
     ) -> None:
         self.net = net
         self.marking = marking
-        self.engine = validate_engine(engine)
+        self.engine = validate_engine(engine, SEARCH_ENGINES)
         self.workers = workers
         self._report: Optional[SchedulabilityReport] = None
 

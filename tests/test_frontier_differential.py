@@ -1,0 +1,461 @@
+"""Differential suite for the frontier-batched state-space engine.
+
+Pins the frontier engine (``engine="frontier"``) against the compiled
+and legacy engines on the paper gallery plus seeded nets from every
+corpus family:
+
+* reachability graphs are **bit-identical** (same marking list, same
+  edge list, same ``complete`` flag — the frontier BFS reproduces the
+  compiled node numbering exactly, including the ``max_markings``
+  cutoff point);
+* coverability/boundedness verdicts, place bounds and node counts are
+  identical (bounded-prefix fast path on bounded nets, clean deferral
+  to Karp–Miller on unbounded or oversized ones);
+* deadlock, liveness and reachability queries agree;
+* QSS schedulability reports agree on verdicts, counts and cycle
+  lengths, and every frontier cycle is a genuine finite complete cycle
+  (the interleaving may differ from the DFS's — both are valid);
+* the exact fallback explorer (the collision path) produces the same
+  exploration as the hashed fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gallery import paper_figures
+from repro.petrinet import (
+    CompiledNet,
+    Marking,
+    PetriNet,
+    ReachabilityGraph,
+    build_reachability_graph,
+    compile_net,
+    coverability_analysis,
+    find_deadlocks,
+    find_firing_sequence,
+    is_finite_complete_cycle,
+    is_live,
+    is_reachable,
+    place_bounds,
+)
+from repro.petrinet.corpus import CORPUS_FAMILIES
+from repro.petrinet.frontier import (
+    _explore_exact,
+    _HashDisagreement,
+    explore_frontier,
+    frontier_firing_order,
+)
+from repro.petrinet.generators import pipeline_net, producer_consumer_ring
+from repro.petrinet.structure import is_free_choice
+from repro.qss import analyse
+
+SEEDS_PER_FAMILY = 10
+GRAPH_CAP = 300
+COVERABILITY_CAP = 500
+
+GALLERY = sorted(paper_figures())
+FAMILY_CASES = [
+    (family, seed)
+    for family in sorted(CORPUS_FAMILIES)
+    for seed in range(SEEDS_PER_FAMILY)
+]
+
+
+def _family_net(family: str, seed: int) -> PetriNet:
+    return CORPUS_FAMILIES[family].spec(seed).build()
+
+
+def _adversarial_arc_order_net() -> PetriNet:
+    """A free-choice net whose arc insertion order fights id order.
+
+    Transitions and places are declared in an order unrelated to the
+    flow, and the choice place's output arcs are added in reverse
+    declaration order — so any engine that confuses insertion order
+    with id order, or postset order with consumer-id order, diverges.
+    """
+    net = PetriNet(name="adversarial_arc_order")
+    net.add_place("z_out_b")
+    net.add_place("m_choice", tokens=1)
+    net.add_place("a_out_a")
+    net.add_transition("t_b")
+    net.add_transition("alpha_a")
+    net.add_transition("z_src")
+    net.add_transition("omega_sink_b")
+    net.add_transition("b_sink_a")
+    # choice place arcs added in reverse of transition declaration order
+    net.add_arc("m_choice", "alpha_a")
+    net.add_arc("m_choice", "t_b")
+    net.add_arc("t_b", "z_out_b")
+    net.add_arc("alpha_a", "a_out_a")
+    net.add_arc("z_src", "m_choice")
+    net.add_arc("z_out_b", "omega_sink_b")
+    net.add_arc("a_out_a", "b_sink_a")
+    return net
+
+
+def assert_graphs_identical(frontier: ReachabilityGraph, other: ReachabilityGraph):
+    assert frontier.markings == other.markings
+    assert frontier.edges == other.edges
+    assert frontier.complete == other.complete
+
+
+def assert_coverability_identical(net, max_nodes=COVERABILITY_CAP):
+    compiled_result = coverability_analysis(net, max_nodes=max_nodes, engine="compiled")
+    frontier_result = coverability_analysis(net, max_nodes=max_nodes, engine="frontier")
+    assert frontier_result.bounded == compiled_result.bounded
+    assert frontier_result.unbounded_places == compiled_result.unbounded_places
+    assert frontier_result.place_bounds == compiled_result.place_bounds
+    assert frontier_result.node_count == compiled_result.node_count
+    assert frontier_result.complete == compiled_result.complete
+    return frontier_result
+
+
+def assert_qss_reports_agree(net):
+    compiled_report = analyse(net, engine="compiled")
+    frontier_report = analyse(net, engine="frontier")
+    assert frontier_report.schedulable == compiled_report.schedulable
+    assert frontier_report.allocation_count == compiled_report.allocation_count
+    assert frontier_report.reduction_count == compiled_report.reduction_count
+    assert frontier_report.complete == compiled_report.complete
+    for frontier_verdict, compiled_verdict in zip(
+        frontier_report.verdicts, compiled_report.verdicts
+    ):
+        assert frontier_verdict.schedulable == compiled_verdict.schedulable
+        assert frontier_verdict.consistent == compiled_verdict.consistent
+        assert frontier_verdict.sources_covered == compiled_verdict.sources_covered
+        assert frontier_verdict.deadlocked == compiled_verdict.deadlocked
+        assert frontier_verdict.invariants == compiled_verdict.invariants
+        assert (
+            frontier_verdict.reduction.signature()
+            == compiled_verdict.reduction.signature()
+        )
+        if compiled_verdict.cycle is None:
+            assert frontier_verdict.cycle is None
+        else:
+            # the frontier BFS may order the same counts differently:
+            # lengths match and the cycle must really execute and close
+            assert frontier_verdict.cycle is not None
+            assert len(frontier_verdict.cycle) == len(compiled_verdict.cycle)
+            assert sorted(frontier_verdict.cycle) == sorted(compiled_verdict.cycle)
+            assert is_finite_complete_cycle(
+                frontier_verdict.reduction.net, frontier_verdict.cycle
+            )
+    return frontier_report
+
+
+# ----------------------------------------------------------------------
+# Gallery
+# ----------------------------------------------------------------------
+class TestGallery:
+    @pytest.mark.parametrize("figure", GALLERY)
+    def test_graphs_identical_across_all_engines(self, figure):
+        net = paper_figures()[figure]()
+        legacy = build_reachability_graph(net, max_markings=GRAPH_CAP, engine="legacy")
+        compiled = build_reachability_graph(
+            net, max_markings=GRAPH_CAP, engine="compiled"
+        )
+        frontier = build_reachability_graph(
+            net, max_markings=GRAPH_CAP, engine="frontier"
+        )
+        assert_graphs_identical(frontier, compiled)
+        assert_graphs_identical(frontier, legacy)
+
+    @pytest.mark.parametrize("figure", GALLERY)
+    def test_coverability_identical(self, figure):
+        assert_coverability_identical(paper_figures()[figure]())
+
+    @pytest.mark.parametrize("figure", GALLERY)
+    def test_property_verdicts_agree(self, figure):
+        net = paper_figures()[figure]()
+        graph = build_reachability_graph(net, max_markings=GRAPH_CAP)
+        if graph.complete:
+            assert find_deadlocks(net, engine="frontier") == find_deadlocks(
+                net, engine="compiled"
+            )
+            assert is_live(net, engine="frontier") == is_live(net, engine="compiled")
+
+    @pytest.mark.parametrize("figure", GALLERY)
+    def test_qss_reports_agree(self, figure):
+        net = paper_figures()[figure]()
+        if is_free_choice(net):
+            assert_qss_reports_agree(net)
+
+
+# ----------------------------------------------------------------------
+# Corpus families, >= 10 seeds each
+# ----------------------------------------------------------------------
+class TestCorpusFamilies:
+    @pytest.mark.parametrize("family,seed", FAMILY_CASES)
+    def test_graphs_identical(self, family, seed):
+        net = _family_net(family, seed)
+        compiled = build_reachability_graph(
+            net, max_markings=GRAPH_CAP, engine="compiled"
+        )
+        frontier = build_reachability_graph(
+            net, max_markings=GRAPH_CAP, engine="frontier"
+        )
+        assert_graphs_identical(frontier, compiled)
+
+    @pytest.mark.parametrize("family,seed", FAMILY_CASES)
+    def test_coverability_identical(self, family, seed):
+        assert_coverability_identical(_family_net(family, seed))
+
+    @pytest.mark.parametrize("family,seed", FAMILY_CASES)
+    def test_qss_reports_agree(self, family, seed):
+        net = _family_net(family, seed)
+        if is_free_choice(net):
+            assert_qss_reports_agree(net)
+
+    @pytest.mark.parametrize("family", sorted(CORPUS_FAMILIES))
+    def test_reachability_queries_agree(self, family):
+        net = _family_net(family, 0)
+        compiled = build_reachability_graph(
+            net, max_markings=GRAPH_CAP, engine="compiled"
+        )
+        # a marking from the middle of the graph is reachable; a marking
+        # with an absurd token count is not
+        middle = compiled.markings[len(compiled.markings) // 2]
+        assert is_reachable(net, middle, max_markings=GRAPH_CAP, engine="frontier")
+        absurd = Marking({net.place_names[0]: 999_999})
+        assert is_reachable(
+            net, absurd, max_markings=GRAPH_CAP, engine="frontier"
+        ) == is_reachable(net, absurd, max_markings=GRAPH_CAP, engine="compiled")
+
+
+# ----------------------------------------------------------------------
+# Edge cases the batching must not get wrong
+# ----------------------------------------------------------------------
+class TestEdgeCases:
+    def test_adversarial_arc_order(self):
+        net = _adversarial_arc_order_net()
+        legacy = build_reachability_graph(net, max_markings=GRAPH_CAP, engine="legacy")
+        frontier = build_reachability_graph(
+            net, max_markings=GRAPH_CAP, engine="frontier"
+        )
+        assert_graphs_identical(frontier, legacy)
+        assert_coverability_identical(net)
+        assert is_free_choice(net)
+        assert_qss_reports_agree(net)
+
+    @pytest.mark.parametrize("cap", [1, 2, 7, 17, 50, 100])
+    def test_truncation_cutoff_identical(self, cap):
+        """The max_markings cutoff lands on the same node and edge."""
+        for net in [producer_consumer_ring(3, 2), pipeline_net(3, rates=[2, 1, 3])]:
+            compiled = build_reachability_graph(net, max_markings=cap, engine="compiled")
+            frontier = build_reachability_graph(net, max_markings=cap, engine="frontier")
+            assert_graphs_identical(frontier, compiled)
+
+    def test_unbounded_net_defers_to_karp_miller(self):
+        """Unbounded nets: frontier exploration cannot finish, so the
+        coverability analysis must defer to Karp-Miller and return the
+        compiled engine's result exactly."""
+        net = pipeline_net(3, rates=[1, 1, 1])  # source transition => unbounded
+        result = assert_coverability_identical(net, max_nodes=400)
+        assert not result.bounded
+        assert result.unbounded_places
+        # Karp-Miller finishes on unbounded nets (omega makes the tree
+        # finite), so place_bounds reports the same None-for-unbounded
+        # bounds under both engines
+        assert place_bounds(net, engine="frontier") == place_bounds(
+            net, engine="compiled"
+        )
+        assert None in place_bounds(net, engine="frontier").values()
+
+    def test_place_bounds_agree_on_bounded_net(self):
+        net = producer_consumer_ring(3, 2)
+        assert place_bounds(net, engine="frontier") == place_bounds(
+            net, engine="compiled"
+        )
+
+    def test_explicit_start_marking(self):
+        net = producer_consumer_ring(2, 3)
+        graph = build_reachability_graph(net, max_markings=GRAPH_CAP)
+        start = graph.markings[-1]
+        compiled = build_reachability_graph(
+            net, marking=start, max_markings=GRAPH_CAP, engine="compiled"
+        )
+        frontier = build_reachability_graph(
+            net, marking=start, max_markings=GRAPH_CAP, engine="frontier"
+        )
+        assert_graphs_identical(frontier, compiled)
+
+    def test_exact_fallback_explorer_matches_hashed(self, monkeypatch):
+        """The collision fallback path explores identically."""
+        import repro.petrinet.frontier as frontier_module
+
+        for build in [
+            lambda: producer_consumer_ring(3, 2),
+            lambda: pipeline_net(3, rates=[2, 1, 3]),
+            lambda: _adversarial_arc_order_net(),
+        ]:
+            compiled = compile_net(build())
+            hashed = explore_frontier(compiled, max_markings=200)
+            exact = _explore_exact(
+                compiled,
+                start=None,
+                max_markings=200,
+                target=None,
+                stop_on_target=False,
+                collect_edges=True,
+            )
+            assert np.array_equal(hashed.matrix, exact.matrix)
+            assert np.array_equal(hashed.edge_src, exact.edge_src)
+            assert np.array_equal(hashed.edge_transition, exact.edge_transition)
+            assert np.array_equal(hashed.edge_dst, exact.edge_dst)
+            assert hashed.complete == exact.complete
+
+        # and the public entry point really falls back on disagreement
+        def always_disagrees(*args, **kwargs):
+            raise _HashDisagreement
+
+        monkeypatch.setattr(frontier_module, "_explore_hashed", always_disagrees)
+        net = producer_consumer_ring(3, 2)
+        graph = build_reachability_graph(net, max_markings=200, engine="frontier")
+        reference = build_reachability_graph(net, max_markings=200, engine="compiled")
+        assert_graphs_identical(graph, reference)
+
+    def test_frontier_firing_order_feasibility_matches_dfs(self):
+        """find_firing_sequence verdicts agree between frontier and
+        compiled on realizable and unrealizable count vectors."""
+        net = producer_consumer_ring(2, 2)
+        compiled = compile_net(net)
+        counts = {t: 1 for t in net.transition_names}
+        frontier_seq = find_firing_sequence(compiled, counts, engine="frontier")
+        compiled_seq = find_firing_sequence(compiled, counts, engine="compiled")
+        assert (frontier_seq is None) == (compiled_seq is None)
+        if frontier_seq is not None:
+            assert sorted(frontier_seq) == sorted(compiled_seq)
+        # an unrealizable vector: fire only a transition whose preset is
+        # empty of tokens
+        impossible = {net.transition_names[-1]: 50}
+        assert find_firing_sequence(
+            compiled, impossible, engine="frontier"
+        ) == find_firing_sequence(compiled, impossible, engine="compiled") or (
+            find_firing_sequence(compiled, impossible, engine="frontier") is None
+        ) == (find_firing_sequence(compiled, impossible, engine="compiled") is None)
+
+    def test_narrow_deep_state_space_stays_fast_and_identical(self):
+        """A one-marking-per-level chain must bail out of per-level
+        batching (the narrow-frontier detector) and still produce the
+        compiled engine's exact graph."""
+        net = PetriNet(name="producer_chain")
+        net.add_place("p")
+        net.add_transition("t")
+        net.add_arc("t", "p")
+        compiled_graph = build_reachability_graph(
+            net, max_markings=2_000, engine="compiled"
+        )
+        frontier_graph = build_reachability_graph(
+            net, max_markings=2_000, engine="frontier"
+        )
+        assert_graphs_identical(frontier_graph, compiled_graph)
+        assert not frontier_graph.complete
+
+    def test_stop_on_target_marks_exploration_incomplete(self):
+        """An early-exit target search returns a prefix, and says so."""
+        compiled = compile_net(producer_consumer_ring(5, 3))
+        full = explore_frontier(compiled, max_markings=100_000)
+        target = tuple(int(v) for v in full.matrix[50])
+        early = explore_frontier(
+            compiled, target=target, stop_on_target=True, max_markings=100_000
+        )
+        assert early.target_index == 50
+        assert early.complete is False
+
+    def test_reduction_cycle_search_rejects_unknown_engine(self):
+        from repro.qss import QSSContext, iter_compiled_reductions
+
+        net = _adversarial_arc_order_net()
+        reduction = next(iter_compiled_reductions(net, context=QSSContext(net)))
+        with pytest.raises(ValueError, match="unknown engine"):
+            reduction.find_firing_sequence({}, reduction.initial, engine="warp")
+
+    def test_frontier_firing_order_budget_reports_undecided(self):
+        """A tiny state budget must report undecided, never a wrong verdict."""
+        net = producer_consumer_ring(4, 2)
+        compiled = compile_net(net)
+        t_ids = np.arange(len(compiled.transitions))
+        counts = [4] * len(compiled.transitions)
+        order, decided = frontier_firing_order(
+            compiled.pre[t_ids],
+            compiled.incidence[t_ids],
+            np.array(compiled.initial),
+            counts,
+            max_states=3,
+        )
+        assert not decided and order is None
+
+
+# ----------------------------------------------------------------------
+# Satellite regressions: adjacency cache, enabled_mask coercion
+# ----------------------------------------------------------------------
+class TestReachabilityGraphSuccessors:
+    def test_successors_match_edge_scan(self):
+        net = producer_consumer_ring(2, 2)
+        graph = build_reachability_graph(net, engine="frontier")
+        for index in range(graph.num_markings):
+            expected = [(t, dst) for src, t, dst in graph.edges if src == index]
+            assert graph.successors(index) == expected
+
+    def test_adjacency_invalidated_on_growth(self):
+        graph = ReachabilityGraph(markings=[Marking({"a": 1}), Marking({"b": 1})])
+        graph.edges.append((0, "t", 1))
+        assert graph.successors(0) == [("t", 1)]
+        # appending an edge after the cache was built must be observed
+        graph.edges.append((0, "u", 1))
+        assert graph.successors(0) == [("t", 1), ("u", 1)]
+        index = graph.add_marking(Marking({"c": 1}))
+        graph.edges.append((index, "v", 0))
+        assert graph.successors(index) == [("v", 0)]
+
+    def test_returned_list_is_a_copy(self):
+        graph = ReachabilityGraph(markings=[Marking({"a": 1})])
+        graph.edges.append((0, "t", 0))
+        graph.successors(0).append(("junk", 99))
+        assert graph.successors(0) == [("t", 0)]
+
+
+class TestEnabledMaskCoercion:
+    def test_int64_2d_fast_path(self):
+        compiled = compile_net(producer_consumer_ring(2, 2))
+        batch = np.array([compiled.initial, compiled.initial], dtype=np.int64)
+        mask = compiled.enabled_mask(batch)
+        assert mask.shape == (2, len(compiled.transitions))
+        assert np.array_equal(mask[0], compiled.enabled_mask(compiled.initial))
+
+    def test_non_array_inputs_still_work(self):
+        compiled = compile_net(producer_consumer_ring(2, 2))
+        from_tuple = compiled.enabled_mask(compiled.initial)
+        from_list = compiled.enabled_mask(list(compiled.initial))
+        from_f64 = compiled.enabled_mask(
+            np.array(compiled.initial, dtype=np.float64)
+        )
+        assert np.array_equal(from_tuple, from_list)
+        assert np.array_equal(from_tuple, from_f64)
+
+    def test_3d_input_rejected(self):
+        compiled = compile_net(producer_consumer_ring(2, 2))
+        bad = np.zeros((2, 2, len(compiled.places)), dtype=np.int64)
+        with pytest.raises(ValueError, match="3-D array"):
+            compiled.enabled_mask(bad)
+
+
+class TestCompiledNetPassThrough:
+    def test_frontier_accepts_precompiled_net(self):
+        compiled = compile_net(producer_consumer_ring(2, 2))
+        assert isinstance(compiled, CompiledNet)
+        frontier = build_reachability_graph(compiled, engine="frontier")
+        reference = build_reachability_graph(compiled, engine="compiled")
+        assert_graphs_identical(frontier, reference)
+
+    def test_legacy_engine_still_rejects_compiled_input(self):
+        compiled = compile_net(producer_consumer_ring(2, 2))
+        with pytest.raises(ValueError, match="legacy"):
+            build_reachability_graph(compiled, engine="legacy")
+
+    def test_unknown_engine_rejected(self):
+        net = producer_consumer_ring(2, 2)
+        with pytest.raises(ValueError, match="unknown engine"):
+            build_reachability_graph(net, engine="warp")
