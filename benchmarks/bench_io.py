@@ -80,3 +80,61 @@ def load_bench_rows(name: str, directory: Optional[str] = None) -> List[Dict[str
     if data.get("schema") != SCHEMA:
         raise ValueError(f"unsupported bench schema {data.get('schema')!r}")
     return data["rows"]
+
+
+# ----------------------------------------------------------------------
+# Committed perf history
+# ----------------------------------------------------------------------
+#: ``BENCH_<name>.json`` files are transient CI artifacts (gitignored);
+#: ``BENCH_<name>.history.json`` files are *committed*, so the perf
+#: trajectory survives in the repository itself.  Bench ``--smoke``
+#: runs append one compact entry per invocation.
+HISTORY_SCHEMA = "repro-qss.bench-history/1"
+
+#: Oldest entries are dropped beyond this, keeping the committed files
+#: reviewable in diffs.
+HISTORY_LIMIT = 200
+
+
+def bench_history_path(name: str, directory: Optional[str] = None) -> Path:
+    """Where ``BENCH_<name>.history.json`` is written."""
+    base = Path(directory or os.environ.get("BENCH_OUTPUT_DIR", "."))
+    return base / f"BENCH_{name}.history.json"
+
+
+def append_history(
+    name: str,
+    entry: Dict[str, Any],
+    directory: Optional[str] = None,
+    limit: int = HISTORY_LIMIT,
+) -> Path:
+    """Append one entry to ``BENCH_<name>.history.json`` and return its path.
+
+    The file is created on first use; an unreadable or foreign file is
+    restarted rather than crashing the bench that records into it.
+    """
+    path = bench_history_path(name, directory)
+    entries: List[Dict[str, Any]] = []
+    if path.exists():
+        try:
+            entries = load_history(name, directory)
+        except (ValueError, KeyError, OSError):
+            entries = []
+    entries.append(entry)
+    entries = entries[-limit:]
+    path.write_text(
+        json.dumps(
+            {"schema": HISTORY_SCHEMA, "bench": name, "entries": entries}, indent=2
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_history(name: str, directory: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Read back the entries of ``BENCH_<name>.history.json``."""
+    data = json.loads(bench_history_path(name, directory).read_text(encoding="utf-8"))
+    if data.get("schema") != HISTORY_SCHEMA:
+        raise ValueError(f"unsupported history schema {data.get('schema')!r}")
+    return data["entries"]

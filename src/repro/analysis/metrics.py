@@ -21,7 +21,7 @@ from ..baselines.functional_partitioning import (
 from ..codegen.emit_c import EmitOptions, emit_c
 from ..codegen.generator import CodegenOptions, synthesize
 from ..codegen.ir import Program
-from ..petrinet import ENGINE_COMPILED, PetriNet
+from ..petrinet import ENGINE_COMPILED, ENGINE_NATIVE, PetriNet
 from ..qss.scheduler import compute_valid_schedule
 from ..qss.schedule import ValidSchedule
 from ..runtime.cost import CostModel
@@ -101,10 +101,13 @@ def qss_metrics(
     Returns the metrics together with the generated program (so callers
     can also inspect or emit the C source).  ``engine`` selects the
     execution core for both the schedule synthesis and the RTOS/IR
-    interpretation of the testbench.
+    interpretation of the testbench.  ``"native"`` runs the testbench
+    on the compiled shared library; the schedule synthesis (an analysis,
+    not an execution) then uses the compiled engine.
     """
     if schedule is None:
-        schedule = compute_valid_schedule(net, engine=engine)
+        analysis_engine = ENGINE_COMPILED if engine == ENGINE_NATIVE else engine
+        schedule = compute_valid_schedule(net, engine=analysis_engine)
     program = synthesize(schedule, rate_groups=rate_groups)
     emission = emit_c(
         program, EmitOptions(boilerplate_lines_per_task=TASK_BOILERPLATE_LINES)
@@ -133,10 +136,13 @@ def functional_metrics(
     """Measure the one-task-per-module baseline implementation.
 
     ``engine`` selects the reactive simulator core executing the
-    testbench (identical stats on either).
+    testbench (identical stats on either).  The baseline interprets the
+    net directly — there is no synthesized C to compile — so
+    ``"native"`` maps to the compiled simulator core.
     """
     implementation = build_functional_implementation(net, modules)
-    stats = implementation.run(events, cost_model, engine=engine)
+    simulator_engine = ENGINE_COMPILED if engine == ENGINE_NATIVE else engine
+    stats = implementation.run(events, cost_model, engine=simulator_engine)
     return ImplementationMetrics(
         name=name,
         tasks=implementation.task_count,

@@ -9,6 +9,7 @@ writing Python:
     $ repro-qss info model.json            # structural summary and class
     $ repro-qss analyse model.json         # schedulability + valid schedule
     $ repro-qss synthesize model.json -o model.c   # generate the C code
+    $ repro-qss emit model.json --driver -o unit.c # C + native driver
     $ repro-qss dot model.json -o model.dot        # Graphviz export
     $ repro-qss gallery figure4 -o fig4.json       # dump a paper figure net
     $ repro-qss atm-table1 --cells 50      # reproduce Table I
@@ -29,9 +30,12 @@ Analysis subcommands accept ``--engine`` (default ``compiled``):
 the original dict-based token game.  The state-space subcommands
 (``analyse``, ``synthesize``, ``gallery``, ``corpus``) additionally
 accept ``frontier`` — the batched vectorized exploration engine of
-:mod:`repro.petrinet.frontier`.  All engines produce identical
-verdicts; the flag exists so each path can be exercised (and timed)
-from the shell.
+:mod:`repro.petrinet.frontier` — and the execution subcommand
+(``atm-table1``) accepts ``native`` — the synthesized C compiled to a
+shared library (:mod:`repro.codegen.native`), falling back to
+``compiled`` with a warning when no C compiler is available.  All
+engines produce identical verdicts; the flag exists so each path can
+be exercised (and timed) from the shell.
 """
 
 from __future__ import annotations
@@ -48,12 +52,14 @@ from .apps.atm import (
     make_fleet_testbench,
     make_testbench,
 )
-from .codegen import EmitOptions, emit_c, synthesize
+from .codegen import EmitOptions, emit_c, native_source, synthesize
 from .gallery import paper_figures
 from .petrinet import (
     ENGINE_COMPILED,
     ENGINE_FRONTIER,
+    ENGINE_NATIVE,
     ENGINES,
+    EXEC_ENGINES,
     SEARCH_ENGINES,
     classify,
     is_free_choice,
@@ -129,6 +135,37 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
     print(
         f"synthesized {program.task_count} task(s), "
         f"{emission.lines_of_code} lines of C",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_emit(args: argparse.Namespace) -> int:
+    net = _load(args.net)
+    report = analyse(net, engine=args.engine)
+    if not report.schedulable or report.schedule is None:
+        print(report.explain(), file=sys.stderr)
+        return 1
+    program = synthesize(report.schedule)
+    if args.driver:
+        if args.standalone_loop:
+            print(
+                "error: --driver emits RTOS-callable entry points; "
+                "drop --standalone-loop",
+                file=sys.stderr,
+            )
+            return 2
+        text = native_source(program)
+        what = "C translation unit with native driver"
+    else:
+        emission = emit_c(
+            program, EmitOptions(standalone_loop=args.standalone_loop)
+        )
+        text = emission.source
+        what = f"{emission.lines_of_code} lines of C"
+    _write_or_print(text, args.output)
+    print(
+        f"emitted {program.task_count} task(s), {what}",
         file=sys.stderr,
     )
     return 0
@@ -258,6 +295,13 @@ def _add_engine_flag(
             "(default), the legacy dict-based token game, or the "
             "frontier-batched vectorized state-space engine"
         )
+    elif ENGINE_NATIVE in engines:
+        help_text = (
+            "execution core: the integer-indexed compiled engine "
+            "(default), the legacy dict-based token game, or the "
+            "synthesized C compiled to a shared library (falls back "
+            "to compiled with a warning when no C compiler exists)"
+        )
     else:
         help_text = (
             "execution core: the integer-indexed compiled engine "
@@ -313,6 +357,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_flag(p_synth, SEARCH_ENGINES)
     p_synth.set_defaults(func=cmd_synthesize)
+
+    p_emit = sub.add_parser(
+        "emit",
+        help="write the generated C (optionally with the native driver) "
+        "to a file or stdout",
+    )
+    p_emit.add_argument("net")
+    p_emit.add_argument("-o", "--output", help="write the C source to this file")
+    p_emit.add_argument(
+        "--standalone-loop",
+        action="store_true",
+        help="wrap each task in while(1) (the paper's listing style)",
+    )
+    p_emit.add_argument(
+        "--driver",
+        action="store_true",
+        help="append the generated native driver (the self-contained "
+        "translation unit the native execution tier compiles)",
+    )
+    _add_engine_flag(p_emit, SEARCH_ENGINES)
+    p_emit.set_defaults(func=cmd_emit)
 
     p_dot = sub.add_parser("dot", help="export the net as Graphviz DOT")
     p_dot.add_argument("net")
@@ -417,7 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_table1 = sub.add_parser("atm-table1", help="reproduce Table I on the ATM server")
     p_table1.add_argument("--cells", type=int, default=50)
     p_table1.add_argument("--seed", type=int, default=2026)
-    _add_engine_flag(p_table1)
+    _add_engine_flag(p_table1, EXEC_ENGINES)
     p_table1.set_defaults(func=cmd_atm_table1)
 
     return parser

@@ -1,6 +1,6 @@
 """Software synthesis backend: IR, code generation, C emission, execution."""
 
-from .emit_c import CEmission, EmitOptions, emit_c, lines_of_code
+from .emit_c import CEmission, CNames, EmitOptions, emit_c, lines_of_code
 from .generator import (
     CodegenError,
     CodegenOptions,
@@ -15,6 +15,15 @@ from .interpreter import (
     ProgramExecutor,
     TaskExecutor,
     make_resolver,
+)
+from .native import (
+    NativeBuildError,
+    NativeProgram,
+    NativeTaskBackend,
+    NativeUnavailableError,
+    native_available,
+    native_source,
+    task_choice_branches,
 )
 from .ir import (
     Block,
@@ -52,8 +61,17 @@ __all__ = [
     # C emission
     "EmitOptions",
     "CEmission",
+    "CNames",
     "emit_c",
     "lines_of_code",
+    # native tier
+    "NativeProgram",
+    "NativeTaskBackend",
+    "NativeBuildError",
+    "NativeUnavailableError",
+    "native_available",
+    "native_source",
+    "task_choice_branches",
     # execution
     "TaskExecutor",
     "ProgramExecutor",

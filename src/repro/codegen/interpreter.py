@@ -29,14 +29,30 @@ or ``engine="legacy"``: the legacy engine skips the lowering and
 tree-walks the IR statement objects against a name-keyed counter dict —
 the pre-lowering execution style, kept for cross-checking (both charge
 identical cycles and fire identical sequences).
+
+``engine="native"`` leaves interpretation behind entirely: the emitted
+C is compiled to a shared library and the activations run the paper's
+actual artifact (:mod:`repro.codegen.native`), with identical firing
+sequences, choice consumption, counter trajectories and cycle charges
+(`tests/test_codegen_native.py`).  On a machine without a C compiler
+the executor emits a ``RuntimeWarning`` and falls back to the compiled
+interpreter; :attr:`TaskExecutor.active_engine` reports which engine
+actually runs.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..petrinet.compiled import ENGINE_COMPILED, ENGINE_LEGACY, validate_engine
+from ..petrinet.compiled import (
+    ENGINE_COMPILED,
+    ENGINE_LEGACY,
+    ENGINE_NATIVE,
+    EXEC_ENGINES,
+    validate_engine,
+)
 from ..runtime.cost import CostModel
 from .ir import (
     Block,
@@ -71,6 +87,27 @@ class ActivationResult:
     choices_taken: Dict[str, str] = field(default_factory=dict)
 
 
+def _native_fallback_warning(err: Exception) -> None:
+    warnings.warn(
+        f"native execution tier unavailable ({err}); "
+        "falling back to the compiled interpreter",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _build_native_backend(task: TaskProgram, cost: CostModel):
+    """Compile a single task for the native tier, or ``None`` (with a
+    warning) when the machine has no C compiler."""
+    from .native import NativeUnavailableError, native_task_backend
+
+    try:
+        return native_task_backend(task, cost)
+    except NativeUnavailableError as err:
+        _native_fallback_warning(err)
+        return None
+
+
 # Lowered opcodes: the IR is compiled once per executor into nested
 # tuples of these, with counter names replaced by dense integer indices
 # and per-statement cycle costs precomputed from the cost model.
@@ -99,13 +136,28 @@ class TaskExecutor:
         task: TaskProgram,
         cost_model: Optional[CostModel] = None,
         engine: str = ENGINE_COMPILED,
+        _native_backend=None,
     ) -> None:
         self.task = task
         self.cost = cost_model or CostModel()
-        self.engine = validate_engine(engine)
+        self.engine = validate_engine(engine, EXEC_ENGINES)
+        #: the engine actually executing activations; differs from
+        #: :attr:`engine` only when ``"native"`` fell back
+        self.active_engine = self.engine
+        #: the :class:`~repro.codegen.native.NativeTaskBackend` running
+        #: the activations when the native tier is active, else ``None``
+        self.native_backend = None
         #: guards against runaway recursion caused by malformed fragments
         self._max_depth = 10_000
-        if self.engine == ENGINE_LEGACY:
+        if self.engine == ENGINE_NATIVE:
+            backend = _native_backend
+            if backend is None:
+                backend = _build_native_backend(self.task, self.cost)
+            if backend is not None:
+                self.native_backend = backend
+                return
+            self.active_engine = ENGINE_COMPILED
+        if self.active_engine == ENGINE_LEGACY:
             self._state: Dict[str, int] = dict(task.counters)
             return
         # dense index over the task's counting variables (declared
@@ -131,8 +183,10 @@ class TaskExecutor:
         assign to the property (or call :meth:`reset`) to change the
         executor's state.
         """
+        if self.native_backend is not None:
+            return self.native_backend.counters
         declared = self.task.counters
-        if self.engine == ENGINE_LEGACY:
+        if self.active_engine == ENGINE_LEGACY:
             return {
                 place: value
                 for place, value in self._state.items()
@@ -146,7 +200,10 @@ class TaskExecutor:
 
     @counters.setter
     def counters(self, values: Mapping[str, int]) -> None:
-        if self.engine == ENGINE_LEGACY:
+        if self.native_backend is not None:
+            self.native_backend.counters = values
+            return
+        if self.active_engine == ENGINE_LEGACY:
             self._state = dict(values)
             return
         self._values = [0] * len(self._place_ids)
@@ -155,22 +212,40 @@ class TaskExecutor:
 
     def reset(self) -> None:
         """Reset counters to the initial marking."""
-        if self.engine == ENGINE_LEGACY:
+        if self.native_backend is not None:
+            self.native_backend.reset()
+        elif self.active_engine == ENGINE_LEGACY:
             self._state = dict(self.task.counters)
         else:
             self._values = list(self._initial)
 
     def activate(self, resolve_choice: ChoiceResolver) -> ActivationResult:
         """Run one activation of the task (one input event)."""
+        if self.native_backend is not None:
+            return self.native_backend.activate(resolve_choice)
         result = ActivationResult(task=self.task.name, cycles=0)
         run = (
             self._run_fragment_ir
-            if self.engine == ENGINE_LEGACY
+            if self.active_engine == ENGINE_LEGACY
             else self._run_fragment
         )
         for entry in self.task.entry_fragments:
             run(entry, resolve_choice, result, depth=0)
         return result
+
+    def activate_many(
+        self, choice_maps: Sequence[Mapping[str, str]]
+    ) -> List[ActivationResult]:
+        """Run one activation per ``{place: transition}`` map.
+
+        The native tier executes the whole batch in a single library
+        call; the interpreter engines loop over
+        :func:`make_resolver`-driven activations.  Results are
+        engine-identical either way.
+        """
+        if self.native_backend is not None:
+            return self.native_backend.activate_many(choice_maps)
+        return [self.activate(make_resolver(mapping)) for mapping in choice_maps]
 
     # -- IR lowering -------------------------------------------------------
     def _place_id(self, place: str) -> int:
@@ -389,8 +464,9 @@ class ProgramExecutor:
     """Executes a whole program: one :class:`TaskExecutor` per task.
 
     ``engine`` is forwarded to every :class:`TaskExecutor`: the lowered
-    integer-opcode form (``"compiled"``, default) or the direct IR tree
-    walk (``"legacy"``).
+    integer-opcode form (``"compiled"``, default), the direct IR tree
+    walk (``"legacy"``), or the compiled shared library (``"native"``,
+    built once for the whole program so all tasks share one artifact).
     """
 
     def __init__(
@@ -401,9 +477,33 @@ class ProgramExecutor:
     ) -> None:
         self.program = program
         self.cost = cost_model or CostModel()
-        self.engine = validate_engine(engine)
+        self.engine = validate_engine(engine, EXEC_ENGINES)
+        self.active_engine = self.engine
+        #: the shared :class:`~repro.codegen.native.NativeProgram` when
+        #: the native tier is active, else ``None``
+        self.native_program = None
+        backends: Dict[str, object] = {}
+        if self.engine == ENGINE_NATIVE:
+            from .native import NativeProgram, NativeUnavailableError
+
+            try:
+                native = NativeProgram(program, self.cost)
+            except NativeUnavailableError as err:
+                _native_fallback_warning(err)
+                self.active_engine = ENGINE_COMPILED
+            else:
+                self.native_program = native
+                backends = {
+                    task.name: native.task_backend(task.name)
+                    for task in program.tasks
+                }
         self.tasks: Dict[str, TaskExecutor] = {
-            task.name: TaskExecutor(task, self.cost, engine=engine)
+            task.name: TaskExecutor(
+                task,
+                self.cost,
+                engine=self.engine if backends else self.active_engine,
+                _native_backend=backends.get(task.name),
+            )
             for task in program.tasks
         }
         self._source_to_task: Dict[str, str] = {}

@@ -22,7 +22,9 @@ from .compiled import (
     ENGINE_COMPILED,
     ENGINE_FRONTIER,
     ENGINE_LEGACY,
+    ENGINE_NATIVE,
     ENGINES,
+    EXEC_ENGINES,
     OMEGA,
     SEARCH_ENGINES,
     CompiledNet,
@@ -155,9 +157,11 @@ __all__ = [
     "compile_net",
     "ENGINES",
     "SEARCH_ENGINES",
+    "EXEC_ENGINES",
     "ENGINE_COMPILED",
     "ENGINE_LEGACY",
     "ENGINE_FRONTIER",
+    "ENGINE_NATIVE",
     "OMEGA",
     "validate_engine",
     # frontier engine

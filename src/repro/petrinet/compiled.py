@@ -55,6 +55,14 @@ ENGINES = (ENGINE_COMPILED, ENGINE_LEGACY)
 ENGINE_FRONTIER = "frontier"
 SEARCH_ENGINES = (ENGINE_COMPILED, ENGINE_LEGACY, ENGINE_FRONTIER)
 
+#: Fourth engine, offered only by the execution tier (the IR
+#: interpreter, the RTOS executive and the metrics built on them): the
+#: synthesized C is compiled to a shared library and run natively; see
+#: :mod:`repro.codegen.native`.  Falls back to ``"compiled"`` with a
+#: warning when the machine has no C compiler.
+ENGINE_NATIVE = "native"
+EXEC_ENGINES = (ENGINE_COMPILED, ENGINE_LEGACY, ENGINE_NATIVE)
+
 #: A marking in compiled form: token counts indexed by place id.
 MarkingTuple = Tuple[int, ...]
 

@@ -14,7 +14,10 @@ The executive takes the same ``engine="compiled"`` (default) /
 the IR interpreter: ``"compiled"`` executes the task bodies in their
 lowered integer-opcode form, ``"legacy"`` tree-walks the IR statement
 objects directly.  Both engines charge identical cycles
-(`tests/test_runtime_compiled_differential.py`).
+(`tests/test_runtime_compiled_differential.py`).  ``engine="native"``
+runs the task bodies as compiled C (:mod:`repro.codegen.native`) with
+the same cycle charges, falling back to ``"compiled"`` with a warning
+when no C compiler is available.
 """
 
 from __future__ import annotations
@@ -120,7 +123,8 @@ class RTOS:
 
     ``engine`` selects how the task bodies execute: ``"compiled"``
     (default) runs the lowered integer-opcode form, ``"legacy"``
-    tree-walks the IR statements; see
+    tree-walks the IR statements, ``"native"`` runs the compiled
+    shared library; see
     :class:`~repro.codegen.interpreter.TaskExecutor`.
     """
 
