@@ -12,35 +12,85 @@ JSON file per benchmark family::
       "rows": [ {<free-form row: engine, net, nodes, seconds, ...>}, ... ]
     }
 
-Rows accumulate: every :func:`record_bench_rows` call appends its rows
-to the named bucket and rewrites the file, so a pytest session that
-runs several contract tests ends with one file holding all of them.
-The first record of a name in a fresh process also preloads whatever
-the file already holds, so separate processes in one workspace — the
-pytest contract pass and the ``--smoke`` pass of a CI job — append to
-each other instead of clobbering.  The output directory defaults to
-the current working directory and can be redirected with
+Rows accumulate: every :func:`record_bench_rows` call re-reads the
+rows already on disk under an advisory file lock, appends its own and
+rewrites the file atomically, so any number of processes in one
+workspace — the pytest contract pass and the ``--smoke`` pass of a CI
+job, interleaved however the scheduler likes — append to each other
+instead of clobbering.  The output directory defaults to the current
+working directory, is created on demand, and can be redirected with
 ``BENCH_OUTPUT_DIR`` (CI leaves it at the repo root and uploads the
 files as artifacts).
+
+Durability: both the transient ``BENCH_<name>.json`` files and the
+*committed* ``BENCH_<name>.history.json`` files are written with the
+same write-temp-then-rename pattern ``repro.codegen.native`` uses for
+cache artifacts, so an interrupted bench can never leave a truncated,
+unparseable file behind — readers see either the old content or the
+new, never a prefix of the new.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
+
+try:  # advisory inter-process lock; POSIX only, degrade gracefully
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 SCHEMA = "repro-qss.bench/1"
-
-#: In-process accumulator: bench name -> rows recorded so far.
-_ROWS: Dict[str, List[Dict[str, Any]]] = {}
 
 
 def bench_json_path(name: str, directory: Optional[str] = None) -> Path:
     """Where ``BENCH_<name>.json`` is written."""
     base = Path(directory or os.environ.get("BENCH_OUTPUT_DIR", "."))
     return base / f"BENCH_{name}.json"
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` without ever exposing a partial file.
+
+    Same pattern as ``repro.codegen.native``: write a sibling temp file
+    (pid-suffixed, so concurrent writers never share one) and rename it
+    over the destination — `os.replace` is atomic on POSIX and Windows.
+    The parent directory is created on demand so ``BENCH_OUTPUT_DIR``
+    may name a directory that does not exist yet.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # pragma: no cover - only on a failed replace
+            tmp.unlink()
+
+
+@contextmanager
+def _locked(path: Path) -> Iterator[None]:
+    """Hold an exclusive advisory lock for read-modify-write of ``path``.
+
+    The lock lives on a ``.lock`` sidecar (never on the data file, which
+    is replaced by rename and would orphan the lock).  On platforms
+    without ``fcntl`` the context is a no-op; atomic rename still keeps
+    files parseable, only cross-process row merging becomes best-effort.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lock_path = path.with_name(path.name + ".lock")
+    with open(lock_path, "w") as lock:
+        fcntl.flock(lock, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(lock, fcntl.LOCK_UN)
 
 
 def record_bench_rows(
@@ -50,27 +100,27 @@ def record_bench_rows(
 ) -> Path:
     """Append ``rows`` to bench ``name`` and rewrite its JSON file.
 
-    Returns the path written.  A fresh process seeds its bucket from
-    the rows already on disk (if any), so multi-process CI jobs
-    accumulate one trajectory file rather than clobbering each other.
+    Returns the path written.  Every call merges with the rows already
+    on disk under an advisory lock (not just the first call of a
+    process), so interleaved recorders accumulate one trajectory file
+    rather than clobbering each other.
     """
     path = bench_json_path(name, directory)
-    bucket = _ROWS.get(name)
-    if bucket is None:
-        bucket = _ROWS[name] = []
+    with _locked(path):
+        bucket: List[Dict[str, Any]] = []
         if path.exists():
             try:
-                bucket.extend(load_bench_rows(name, directory))
+                bucket = load_bench_rows(name, directory)
             except (ValueError, KeyError, OSError):
-                pass  # unreadable/foreign file: start over
-    bucket.extend(rows)
-    path.write_text(
-        json.dumps(
-            {"schema": SCHEMA, "bench": name, "rows": bucket}, indent=2
+                bucket = []  # unreadable/foreign file: start over
+        bucket.extend(rows)
+        _atomic_write_text(
+            path,
+            json.dumps(
+                {"schema": SCHEMA, "bench": name, "rows": bucket}, indent=2
+            )
+            + "\n",
         )
-        + "\n",
-        encoding="utf-8",
-    )
     return path
 
 
@@ -110,25 +160,31 @@ def append_history(
 ) -> Path:
     """Append one entry to ``BENCH_<name>.history.json`` and return its path.
 
-    The file is created on first use; an unreadable or foreign file is
-    restarted rather than crashing the bench that records into it.
+    The file (and its directory) is created on first use; an unreadable
+    or foreign file is restarted rather than crashing the bench that
+    records into it.  Read-append-rewrite happens under the same
+    advisory lock and atomic-rename discipline as
+    :func:`record_bench_rows` — these files are committed, so a
+    truncated write would show up as a corrupt tracked file.
     """
     path = bench_history_path(name, directory)
-    entries: List[Dict[str, Any]] = []
-    if path.exists():
-        try:
-            entries = load_history(name, directory)
-        except (ValueError, KeyError, OSError):
-            entries = []
-    entries.append(entry)
-    entries = entries[-limit:]
-    path.write_text(
-        json.dumps(
-            {"schema": HISTORY_SCHEMA, "bench": name, "entries": entries}, indent=2
+    with _locked(path):
+        entries: List[Dict[str, Any]] = []
+        if path.exists():
+            try:
+                entries = load_history(name, directory)
+            except (ValueError, KeyError, OSError):
+                entries = []
+        entries.append(entry)
+        entries = entries[-limit:]
+        _atomic_write_text(
+            path,
+            json.dumps(
+                {"schema": HISTORY_SCHEMA, "bench": name, "entries": entries},
+                indent=2,
+            )
+            + "\n",
         )
-        + "\n",
-        encoding="utf-8",
-    )
     return path
 
 

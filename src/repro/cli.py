@@ -253,14 +253,26 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
-    result = run_corpus(
-        specs,
-        workers=args.workers,
-        max_markings=args.max_markings,
-        max_nodes=args.max_nodes,
-        engine=args.engine,
-        analyse=args.analyse,
-    )
+    if (args.memory_budget or args.spill_dir) and args.engine != ENGINE_FRONTIER:
+        print(
+            "error: --memory-budget/--spill-dir require --engine frontier",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        result = run_corpus(
+            specs,
+            workers=args.workers,
+            max_markings=args.max_markings,
+            max_nodes=args.max_nodes,
+            engine=args.engine,
+            analyse=args.analyse,
+            memory_budget=args.memory_budget,
+            spill_dir=args.spill_dir,
+        )
+    except ValueError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
     summary = corpus_to_json_dict(result)
     if args.json:
         import json
@@ -441,6 +453,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2_500,
         help="Karp-Miller node cap per net for the coverability check",
+    )
+    p_corpus.add_argument(
+        "--memory-budget",
+        help="out-of-core RAM budget per net for --engine frontier "
+        "(bytes, or a suffixed size like 64MB/2GiB); exploration spills "
+        "visited-set shards and marking logs to disk past the budget",
+    )
+    p_corpus.add_argument(
+        "--spill-dir",
+        help="directory for out-of-core spill files (default: a private "
+        "temp directory, removed after each net); requires --memory-budget "
+        "or is used standalone to force the spilling code path",
     )
     _add_engine_flag(p_corpus, SEARCH_ENGINES)
     p_corpus.set_defaults(func=cmd_corpus)

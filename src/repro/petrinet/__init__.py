@@ -14,6 +14,10 @@ library) needs from Petri net theory:
 * :mod:`~repro.petrinet.simulation` — token game, finite complete cycles.
 * :mod:`~repro.petrinet.reachability` — reachability, boundedness
   (Karp–Miller), deadlock and liveness.
+* :mod:`~repro.petrinet.outofcore` — memory-budgeted spill-to-disk
+  frontier exploration (``engine="frontier"`` + ``memory_budget=``).
+* :mod:`~repro.petrinet.symmetry` — validated symmetry groups and
+  orbit canonicalization for quotient state spaces.
 * :mod:`~repro.petrinet.generators` — parameterized net families.
 """
 
@@ -86,6 +90,12 @@ from .frontier import (
     frontier_firing_order,
 )
 from .marking import Marking
+from .outofcore import (
+    SpillStats,
+    VisitedStore,
+    explore_budgeted,
+    parse_memory_budget,
+)
 from .net import Arc, PetriNet, Place, Transition
 from .reachability import (
     CoverabilityResult,
@@ -124,6 +134,14 @@ from .simulation import (
     policy_first_enabled,
     search_firing_order,
     simulate_many,
+)
+from .symmetry import (
+    SymmetryGroup,
+    canonicalize,
+    detect_symmetries,
+    group_from_names,
+    orbit_place_bounds,
+    validate_group,
 )
 from .structure import (
     choice_sets,
@@ -169,6 +187,18 @@ __all__ = [
     "explore_frontier",
     "frontier_firing_order",
     "MAX_CYCLE_STATES",
+    # out-of-core budgeted exploration
+    "SpillStats",
+    "VisitedStore",
+    "explore_budgeted",
+    "parse_memory_budget",
+    # symmetry reduction
+    "SymmetryGroup",
+    "canonicalize",
+    "detect_symmetries",
+    "group_from_names",
+    "orbit_place_bounds",
+    "validate_group",
     # scenario corpus
     "CORPUS_ANALYSES",
     "CORPUS_FAMILIES",

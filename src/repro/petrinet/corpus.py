@@ -488,6 +488,8 @@ def analyse_spec(
     max_nodes: int = 2_500,
     engine: str = ENGINE_COMPILED,
     analyse: str = "properties",
+    memory_budget: Optional[object] = None,
+    spill_dir: Optional[str] = None,
 ) -> CorpusRecord:
     """Run the requested analysis pipeline on one spec.
 
@@ -506,6 +508,11 @@ def analyse_spec(
     are not exact within the caps are reported as ``None`` rather than
     guessed.  Analysis exceptions are captured in ``error`` so one
     degenerate net cannot sink a whole corpus run.
+
+    ``memory_budget`` / ``spill_dir`` (frontier engine only) route the
+    coverability and reachability passes through the out-of-core
+    budgeted explorer (:mod:`repro.petrinet.outofcore`), bounding RAM
+    by spilling visited-set shards and marking logs to disk.
     """
     from ..qss import analyse as qss_analyse  # local import: qss imports petrinet
     from .exceptions import PetriNetError
@@ -518,6 +525,16 @@ def analyse_spec(
 
     validate_engine(engine, SEARCH_ENGINES)
     validate_corpus_analyse(analyse)
+    budget_kwargs: Dict[str, Any] = {}
+    if memory_budget is not None or spill_dir is not None:
+        # validated eagerly (same rule as reachability) so a bad
+        # engine/budget combination fails the call, not one record
+        if engine != ENGINE_FRONTIER:
+            raise ValueError(
+                "memory_budget/spill_dir require engine="
+                f"{ENGINE_FRONTIER!r}, got {engine!r}"
+            )
+        budget_kwargs = {"memory_budget": memory_budget, "spill_dir": spill_dir}
     started = time.perf_counter()
     record = CorpusRecord(family=spec.family, seed=spec.seed, params=spec.param_dict)
     try:
@@ -534,7 +551,7 @@ def analyse_spec(
                 net if engine == ENGINE_LEGACY else _cached_compiled(spec)
             )
             coverability = coverability_analysis(
-                analysed, max_nodes=max_nodes, engine=engine
+                analysed, max_nodes=max_nodes, engine=engine, **budget_kwargs
             )
             record.unbounded_places = list(coverability.unbounded_places)
             record.coverability_nodes = coverability.node_count
@@ -555,7 +572,7 @@ def analyse_spec(
                 record.max_place_bound = max(finite) if finite else None
 
             graph = build_reachability_graph(
-                analysed, max_markings=max_markings, engine=engine
+                analysed, max_markings=max_markings, engine=engine, **budget_kwargs
             )
             record.exploration_complete = graph.complete
             if graph.complete:
@@ -617,15 +634,17 @@ def _runtime_sweep(spec: NetSpec, record: CorpusRecord, engine: str) -> None:
 
 
 def _analyse_one(
-    args: Tuple[NetSpec, int, int, str, str]
+    args: Tuple[NetSpec, int, int, str, str, Optional[object], Optional[str]]
 ) -> CorpusRecord:  # pragma: no cover - trivial pool shim
-    spec, max_markings, max_nodes, engine, analyse = args
+    spec, max_markings, max_nodes, engine, analyse, memory_budget, spill_dir = args
     return analyse_spec(
         spec,
         max_markings=max_markings,
         max_nodes=max_nodes,
         engine=engine,
         analyse=analyse,
+        memory_budget=memory_budget,
+        spill_dir=spill_dir,
     )
 
 
@@ -657,6 +676,8 @@ def run_corpus(
     max_nodes: int = 2_500,
     engine: str = ENGINE_COMPILED,
     analyse: str = "properties",
+    memory_budget: Optional[object] = None,
+    spill_dir: Optional[str] = None,
 ) -> CorpusResult:
     """Analyse every spec, fanning out over a process pool when ``workers > 1``.
 
@@ -666,9 +687,19 @@ def run_corpus(
     net: the full property pipeline (``"properties"``, default) or the
     QSS schedulability sweep (``"qss"``).  ``engine`` is any of the
     search engines (``compiled``/``legacy``/``frontier``).
+    ``memory_budget`` / ``spill_dir`` (frontier only) bound exploration
+    RAM per net by spilling to disk; each worker spills into its own
+    private temp directory unless ``spill_dir`` pins one.
     """
     validate_engine(engine, SEARCH_ENGINES)
     validate_corpus_analyse(analyse)
+    if (memory_budget is not None or spill_dir is not None) and (
+        engine != ENGINE_FRONTIER
+    ):
+        raise ValueError(
+            "memory_budget/spill_dir require engine="
+            f"{ENGINE_FRONTIER!r}, got {engine!r}"
+        )
     started = time.perf_counter()
     if workers <= 1 or len(specs) <= 1:
         records = [
@@ -678,6 +709,8 @@ def run_corpus(
                 max_nodes=max_nodes,
                 engine=engine,
                 analyse=analyse,
+                memory_budget=memory_budget,
+                spill_dir=spill_dir,
             )
             for spec in specs
         ]
@@ -687,7 +720,8 @@ def run_corpus(
 
         effective_workers = min(workers, len(specs))
         payload = [
-            (spec, max_markings, max_nodes, engine, analyse) for spec in specs
+            (spec, max_markings, max_nodes, engine, analyse, memory_budget, spill_dir)
+            for spec in specs
         ]
         chunksize = max(1, len(specs) // (effective_workers * 4))
         with multiprocessing.Pool(effective_workers) as pool:

@@ -112,6 +112,10 @@ class FrontierExploration:
         (or a ``stop_on_target`` search stopped at the target).
     target_index:
         BFS index of the target marking when one was given and found.
+    spill:
+        :class:`~repro.petrinet.outofcore.SpillStats` when the
+        exploration ran under a memory budget (the matrix/edge arrays
+        are then read-only memory maps); ``None`` for in-RAM runs.
     """
 
     matrix: np.ndarray
@@ -120,6 +124,7 @@ class FrontierExploration:
     edge_dst: np.ndarray
     complete: bool
     target_index: Optional[int] = None
+    spill: Optional[object] = None
 
     @property
     def node_count(self) -> int:
@@ -217,6 +222,9 @@ def explore_frontier(
     target: Optional[Sequence[int]] = None,
     stop_on_target: bool = False,
     collect_edges: bool = True,
+    memory_budget: Optional[object] = None,
+    spill_dir: Optional[object] = None,
+    symmetry: Optional[object] = None,
 ) -> FrontierExploration:
     """Breadth-first exploration with whole-level batching.
 
@@ -228,7 +236,30 @@ def explore_frontier(
     discovered (used by the early-exit reachability query); with
     ``collect_edges=False`` the edge arrays stay empty (used by the
     boundedness fast path, which only needs the marking matrix).
+
+    Any of ``memory_budget`` (bytes, or ``"256MB"``-style strings),
+    ``spill_dir`` or ``symmetry`` routes the exploration through the
+    out-of-core engine (:mod:`repro.petrinet.outofcore`): markings and
+    edges stream to disk, the visited tables spill past the budget, and
+    oversized frontiers are processed in budget-sized chunks — same
+    BFS order bit for bit.  ``symmetry`` (``"auto"`` or validated
+    :class:`~repro.petrinet.symmetry.SymmetryGroup` s) additionally
+    canonicalizes markings, returning the quotient graph instead.
     """
+    if memory_budget is not None or spill_dir is not None or symmetry is not None:
+        from .outofcore import explore_budgeted
+
+        return explore_budgeted(
+            compiled,
+            start=start,
+            max_markings=max_markings,
+            target=target,
+            stop_on_target=stop_on_target,
+            collect_edges=collect_edges,
+            memory_budget=memory_budget,
+            spill_dir=spill_dir,
+            symmetry=symmetry,
+        )
     try:
         return _explore_hashed(
             compiled, start, max_markings, target, stop_on_target, collect_edges

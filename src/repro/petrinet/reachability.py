@@ -230,11 +230,32 @@ class ReachabilityGraph:
         )
 
 
+def _validate_outofcore_args(
+    engine: str,
+    memory_budget: Optional[object],
+    spill_dir: Optional[object],
+    symmetry: Optional[object],
+) -> None:
+    """Out-of-core knobs belong to the frontier engine exclusively."""
+    if engine != ENGINE_FRONTIER and (
+        memory_budget is not None
+        or spill_dir is not None
+        or symmetry is not None
+    ):
+        raise ValueError(
+            "memory_budget/spill_dir/symmetry require engine="
+            f"'{ENGINE_FRONTIER}' (got engine={engine!r})"
+        )
+
+
 def build_reachability_graph(
     net: Union[PetriNet, CompiledNet],
     max_markings: int = 100_000,
     marking: Optional[Marking] = None,
     engine: str = ENGINE_COMPILED,
+    memory_budget: Optional[object] = None,
+    spill_dir: Optional[object] = None,
+    symmetry: Optional[object] = None,
 ) -> ReachabilityGraph:
     """Breadth-first exploration of the reachable markings.
 
@@ -251,8 +272,17 @@ def build_reachability_graph(
     markings/edges lazily; ``"legacy"`` runs the original dict-based
     token game.  All engines visit the same markings in the same BFS
     order, so the resulting graphs are identical.
+
+    The frontier engine additionally accepts ``memory_budget`` (bytes
+    or ``"256MB"``-style strings) and ``spill_dir``, routing the
+    exploration through the out-of-core engine
+    (:mod:`repro.petrinet.outofcore`) — the graph is still bit-identical,
+    only its storage is memory-mapped — and ``symmetry`` (``"auto"`` or
+    :class:`~repro.petrinet.symmetry.SymmetryGroup` s), which returns
+    the canonical *quotient* graph of the symmetry instead.
     """
     validate_engine(engine, SEARCH_ENGINES)
+    _validate_outofcore_args(engine, memory_budget, spill_dir, symmetry)
     if isinstance(net, CompiledNet):
         if engine == ENGINE_LEGACY:
             raise ValueError(
@@ -261,14 +291,24 @@ def build_reachability_graph(
             )
         if engine == ENGINE_FRONTIER:
             return _build_reachability_graph_frontier(
-                net, max_markings=max_markings, marking=marking
+                net,
+                max_markings=max_markings,
+                marking=marking,
+                memory_budget=memory_budget,
+                spill_dir=spill_dir,
+                symmetry=symmetry,
             )
         return _build_reachability_graph_compiled(
             net, max_markings=max_markings, marking=marking
         )
     if engine == ENGINE_FRONTIER:
         return _build_reachability_graph_frontier(
-            net.compile(), max_markings=max_markings, marking=marking
+            net.compile(),
+            max_markings=max_markings,
+            marking=marking,
+            memory_budget=memory_budget,
+            spill_dir=spill_dir,
+            symmetry=symmetry,
         )
     if engine == ENGINE_COMPILED:
         return _build_reachability_graph_compiled(
@@ -355,19 +395,31 @@ def _build_reachability_graph_compiled(
 
 
 def _build_reachability_graph_frontier(
-    compiled: CompiledNet, max_markings: int, marking: Optional[Marking]
+    compiled: CompiledNet,
+    max_markings: int,
+    marking: Optional[Marking],
+    memory_budget: Optional[object] = None,
+    spill_dir: Optional[object] = None,
+    symmetry: Optional[object] = None,
 ) -> ReachabilityGraph:
     """Frontier-batched BFS (see :mod:`repro.petrinet.frontier`).
 
     Visits markings in exactly the compiled engine's order — same node
     numbering, same edge list, same cutoff point — but keeps the graph
-    in integer-array form; the named views materialize on demand.
+    in integer-array form; the named views materialize on demand.  Any
+    out-of-core knob set routes through
+    :func:`repro.petrinet.outofcore.explore_budgeted`.
     """
     start = (
         compiled.marking_to_tuple(marking) if marking is not None else None
     )
     exploration = explore_frontier(
-        compiled, start=start, max_markings=max_markings
+        compiled,
+        start=start,
+        max_markings=max_markings,
+        memory_budget=memory_budget,
+        spill_dir=spill_dir,
+        symmetry=symmetry,
     )
     return ReachabilityGraph.from_exploration(compiled, exploration)
 
@@ -458,6 +510,9 @@ def coverability_analysis(
     marking: Optional[Marking] = None,
     max_nodes: int = 200_000,
     engine: str = ENGINE_COMPILED,
+    memory_budget: Optional[object] = None,
+    spill_dir: Optional[object] = None,
+    symmetry: Optional[object] = None,
 ) -> CoverabilityResult:
     """Karp–Miller coverability tree with omega acceleration.
 
@@ -482,8 +537,17 @@ def coverability_analysis(
     truncated — the net is unbounded, or simply bigger than the cap —
     the engine defers to the compiled Karp–Miller construction, whose
     omega verdict is the only finite way to prove unboundedness.
+
+    The frontier fast path honours ``memory_budget``/``spill_dir``
+    (out-of-core prefix exploration; identical verdicts) and
+    ``symmetry`` (the prefix is the canonical quotient — per-place
+    bounds are lifted back to true bounds over each block orbit, and
+    ``node_count`` counts canonical states).  The Karp–Miller fallback
+    for truncated prefixes runs in RAM regardless: omega acceleration
+    needs the ancestor chains resident.
     """
     validate_engine(engine, SEARCH_ENGINES)
+    _validate_outofcore_args(engine, memory_budget, spill_dir, symmetry)
     if isinstance(net, CompiledNet):
         if engine == ENGINE_LEGACY:
             raise ValueError(
@@ -491,10 +555,14 @@ def coverability_analysis(
                 "run the dict-based coverability on a compiled net"
             )
         if engine == ENGINE_FRONTIER:
-            return _coverability_analysis_frontier(net, marking, max_nodes)
+            return _coverability_analysis_frontier(
+                net, marking, max_nodes, memory_budget, spill_dir, symmetry
+            )
         return _coverability_analysis_compiled(net, marking, max_nodes)
     if engine == ENGINE_FRONTIER:
-        return _coverability_analysis_frontier(net.compile(), marking, max_nodes)
+        return _coverability_analysis_frontier(
+            net.compile(), marking, max_nodes, memory_budget, spill_dir, symmetry
+        )
     if engine == ENGINE_COMPILED:
         return _coverability_analysis_compiled(net.compile(), marking, max_nodes)
     places = tuple(net.place_names)
@@ -573,7 +641,12 @@ def coverability_analysis(
 
 
 def _coverability_analysis_frontier(
-    compiled: CompiledNet, marking: Optional[Marking], max_nodes: int
+    compiled: CompiledNet,
+    marking: Optional[Marking],
+    max_nodes: int,
+    memory_budget: Optional[object] = None,
+    spill_dir: Optional[object] = None,
+    symmetry: Optional[object] = None,
 ) -> CoverabilityResult:
     """Bounded-prefix fast path backed by the frontier exploration.
 
@@ -586,16 +659,40 @@ def _coverability_analysis_frontier(
     nothing — unbounded nets never finish — and defers to the compiled
     Karp–Miller construction wholesale, making the frontier verdicts
     identical to the compiled ones on every net.
+
+    Under ``symmetry`` the prefix explores canonical representatives
+    only; the orbit of every canonical marking is reachable, so a
+    place's true bound is the maximum over its position across all
+    blocks of its group (:func:`repro.petrinet.symmetry.orbit_place_bounds`)
+    — boundedness and per-place bounds stay exact while ``node_count``
+    shrinks to the quotient.
     """
     start = (
         compiled.marking_to_tuple(marking) if marking is not None else None
     )
+    groups = ()
+    if symmetry is not None:
+        from .symmetry import resolve_symmetry
+
+        # resolve once: the exploration revalidates cheaply, and the
+        # bounds lift below needs the concrete groups
+        groups = resolve_symmetry(compiled, symmetry)
     exploration = explore_frontier(
-        compiled, start=start, max_markings=max_nodes, collect_edges=False
+        compiled,
+        start=start,
+        max_markings=max_nodes,
+        collect_edges=False,
+        memory_budget=memory_budget,
+        spill_dir=spill_dir,
+        symmetry=groups or None,
     )
     if not exploration.complete:
         return _coverability_analysis_compiled(compiled, marking, max_nodes)
-    bounds = exploration.matrix.max(axis=0)
+    bounds = np.asarray(exploration.matrix.max(axis=0), dtype=np.int64)
+    if groups:
+        from .symmetry import orbit_place_bounds
+
+        bounds = orbit_place_bounds(bounds, groups)
     return CoverabilityResult(
         bounded=True,
         unbounded_places=[],
@@ -766,10 +863,27 @@ def find_deadlocks(
     marking: Optional[Marking] = None,
     max_markings: int = 100_000,
     engine: str = ENGINE_COMPILED,
+    memory_budget: Optional[object] = None,
+    spill_dir: Optional[object] = None,
+    symmetry: Optional[object] = None,
 ) -> List[Marking]:
-    """Reachable markings with no enabled transition."""
+    """Reachable markings with no enabled transition.
+
+    The frontier engine accepts the out-of-core knobs of
+    :func:`build_reachability_graph`.  Under ``symmetry`` each returned
+    marking is the canonical representative of a deadlock orbit
+    (automorphisms preserve enabledness, so a deadlock exists iff its
+    representative deadlocks) — the *set of orbits* is exact, the
+    concrete marking count is the quotient's.
+    """
     graph = build_reachability_graph(
-        net, max_markings=max_markings, marking=marking, engine=engine
+        net,
+        max_markings=max_markings,
+        marking=marking,
+        engine=engine,
+        memory_budget=memory_budget,
+        spill_dir=spill_dir,
+        symmetry=symmetry,
     )
     return graph.deadlock_markings()
 
@@ -779,10 +893,19 @@ def is_deadlock_free(
     marking: Optional[Marking] = None,
     max_markings: int = 100_000,
     engine: str = ENGINE_COMPILED,
+    memory_budget: Optional[object] = None,
+    spill_dir: Optional[object] = None,
+    symmetry: Optional[object] = None,
 ) -> bool:
     """True if every reachable marking enables at least one transition."""
     return not find_deadlocks(
-        net, marking=marking, max_markings=max_markings, engine=engine
+        net,
+        marking=marking,
+        max_markings=max_markings,
+        engine=engine,
+        memory_budget=memory_budget,
+        spill_dir=spill_dir,
+        symmetry=symmetry,
     )
 
 

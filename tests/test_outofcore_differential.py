@@ -1,0 +1,474 @@
+"""Differential suite for the out-of-core budgeted frontier engine.
+
+Pins the spill-to-disk exploration (``engine="frontier"`` plus
+``memory_budget=``/``spill_dir=``) against the in-RAM paths on the
+paper gallery plus seeded nets from the corpus families, under budgets
+tiny enough that spilling and chunking trigger even on small nets:
+
+* reachability graphs are **bit-identical** (same marking list, same
+  edge list, same ``complete`` flag — the chunked BFS reproduces the
+  in-RAM node numbering exactly, including the ``max_markings``
+  cutoff point and the ``stop_on_target`` early exit);
+* coverability verdicts, place bounds and node counts are identical;
+* deadlock sets are identical;
+* the budget parser, the spilling visited store and the engine
+  validation guard behave as documented;
+* symmetry reduction produces a validated quotient that preserves the
+  deadlock-freedom verdict and the exact per-place bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gallery import paper_figures
+from repro.petrinet import (
+    PetriNet,
+    ReachabilityGraph,
+    SymmetryGroup,
+    build_reachability_graph,
+    canonicalize,
+    compile_net,
+    coverability_analysis,
+    detect_symmetries,
+    explore_frontier,
+    find_deadlocks,
+    group_from_names,
+    is_deadlock_free,
+    orbit_place_bounds,
+    parse_memory_budget,
+)
+from repro.petrinet.corpus import CORPUS_FAMILIES
+from repro.petrinet.outofcore import VisitedStore, explore_budgeted
+from repro.petrinet.generators import (
+    fork_join_pipeline,
+    pipeline_net,
+    producer_consumer_ring,
+)
+
+#: Small enough that even ~100-marking nets spill visited shards and
+#: split frontiers into chunks (the spill floors are 64 entries / 64
+#: rows, far below any real budget's).
+TINY_BUDGET = 4096
+
+GRAPH_CAP = 300
+COVERABILITY_CAP = 500
+SEEDS_PER_FAMILY = 4
+
+GALLERY = sorted(paper_figures())
+#: Every corpus family rides through the budgeted path (the issue floor
+#: is five families; running all of them costs little at this cap).
+FAMILY_CASES = [
+    (family, seed)
+    for family in sorted(CORPUS_FAMILIES)
+    for seed in range(SEEDS_PER_FAMILY)
+]
+
+
+def _family_net(family: str, seed: int) -> PetriNet:
+    return CORPUS_FAMILIES[family].spec(seed).build()
+
+
+def assert_graphs_identical(budgeted: ReachabilityGraph, other: ReachabilityGraph):
+    assert budgeted.markings == other.markings
+    assert budgeted.edges == other.edges
+    assert budgeted.complete == other.complete
+
+
+def _budgeted_graph(net, cap=GRAPH_CAP, **kwargs):
+    return build_reachability_graph(
+        net,
+        max_markings=cap,
+        engine="frontier",
+        memory_budget=TINY_BUDGET,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Gallery + corpus: bit-identity under a tiny forced budget
+# ----------------------------------------------------------------------
+class TestGallery:
+    @pytest.mark.parametrize("figure", GALLERY)
+    def test_graphs_identical(self, figure):
+        net = paper_figures()[figure]()
+        in_ram = build_reachability_graph(
+            net, max_markings=GRAPH_CAP, engine="frontier"
+        )
+        compiled = build_reachability_graph(
+            net, max_markings=GRAPH_CAP, engine="compiled"
+        )
+        budgeted = _budgeted_graph(net)
+        assert_graphs_identical(budgeted, in_ram)
+        assert_graphs_identical(budgeted, compiled)
+
+    @pytest.mark.parametrize("figure", GALLERY)
+    def test_coverability_identical(self, figure):
+        net = paper_figures()[figure]()
+        in_ram = coverability_analysis(
+            net, max_nodes=COVERABILITY_CAP, engine="compiled"
+        )
+        budgeted = coverability_analysis(
+            net,
+            max_nodes=COVERABILITY_CAP,
+            engine="frontier",
+            memory_budget=TINY_BUDGET,
+        )
+        assert budgeted.bounded == in_ram.bounded
+        assert budgeted.unbounded_places == in_ram.unbounded_places
+        assert budgeted.place_bounds == in_ram.place_bounds
+        assert budgeted.node_count == in_ram.node_count
+        assert budgeted.complete == in_ram.complete
+
+
+class TestCorpusFamilies:
+    @pytest.mark.parametrize("family,seed", FAMILY_CASES)
+    def test_graphs_identical(self, family, seed):
+        net = _family_net(family, seed)
+        compiled = build_reachability_graph(
+            net, max_markings=GRAPH_CAP, engine="compiled"
+        )
+        assert_graphs_identical(_budgeted_graph(net), compiled)
+
+    @pytest.mark.parametrize("family,seed", FAMILY_CASES)
+    def test_deadlock_sets_identical(self, family, seed):
+        net = _family_net(family, seed)
+        budgeted = find_deadlocks(
+            net,
+            max_markings=GRAPH_CAP,
+            engine="frontier",
+            memory_budget=TINY_BUDGET,
+        )
+        assert budgeted == find_deadlocks(
+            net, max_markings=GRAPH_CAP, engine="compiled"
+        )
+
+    @pytest.mark.parametrize("family", sorted(CORPUS_FAMILIES))
+    def test_coverability_identical(self, family):
+        net = _family_net(family, 0)
+        in_ram = coverability_analysis(
+            net, max_nodes=COVERABILITY_CAP, engine="frontier"
+        )
+        budgeted = coverability_analysis(
+            net,
+            max_nodes=COVERABILITY_CAP,
+            engine="frontier",
+            memory_budget=TINY_BUDGET,
+        )
+        assert budgeted.bounded == in_ram.bounded
+        assert budgeted.place_bounds == in_ram.place_bounds
+        assert budgeted.node_count == in_ram.node_count
+        assert budgeted.complete == in_ram.complete
+
+
+# ----------------------------------------------------------------------
+# Spill mechanics
+# ----------------------------------------------------------------------
+class TestSpillMechanics:
+    def test_tiny_budget_really_spills_and_chunks(self):
+        # 2401 markings with frontiers wide enough to overflow the
+        # 64-row chunk floor at this budget
+        compiled = compile_net(producer_consumer_ring(4, 6))
+        exploration = explore_frontier(
+            compiled, max_markings=10_000, memory_budget=TINY_BUDGET
+        )
+        spill = exploration.spill
+        assert spill is not None
+        assert spill.budget_bytes == TINY_BUDGET
+        assert spill.shard_count > 0, "tiny budget must force visited shards"
+        assert spill.chunk_count > spill.level_count, (
+            "tiny budget must split at least one frontier into chunks"
+        )
+        assert spill.log_bytes > 0
+
+    def test_exploration_matches_in_ram_bit_for_bit(self):
+        compiled = compile_net(producer_consumer_ring(4, 3))
+        in_ram = explore_frontier(compiled, max_markings=1_000)
+        budgeted = explore_frontier(
+            compiled, max_markings=1_000, memory_budget=TINY_BUDGET
+        )
+        assert np.array_equal(np.asarray(budgeted.matrix), in_ram.matrix)
+        assert np.array_equal(np.asarray(budgeted.edge_src), in_ram.edge_src)
+        assert np.array_equal(
+            np.asarray(budgeted.edge_transition), in_ram.edge_transition
+        )
+        assert np.array_equal(np.asarray(budgeted.edge_dst), in_ram.edge_dst)
+        assert budgeted.complete == in_ram.complete
+
+    @pytest.mark.parametrize("cap", [1, 2, 7, 17, 50, 100])
+    def test_truncation_cutoff_identical(self, cap):
+        """The max_markings cutoff lands on the same node and edge."""
+        for net in [producer_consumer_ring(3, 2), pipeline_net(3, rates=[2, 1, 3])]:
+            compiled = build_reachability_graph(
+                net, max_markings=cap, engine="compiled"
+            )
+            assert_graphs_identical(_budgeted_graph(net, cap=cap), compiled)
+
+    def test_stop_on_target_identical(self):
+        compiled = compile_net(producer_consumer_ring(5, 3))
+        full = explore_frontier(compiled, max_markings=100_000)
+        target = tuple(int(v) for v in full.matrix[137])
+        in_ram = explore_frontier(
+            compiled, target=target, stop_on_target=True, max_markings=100_000
+        )
+        budgeted = explore_frontier(
+            compiled,
+            target=target,
+            stop_on_target=True,
+            max_markings=100_000,
+            memory_budget=TINY_BUDGET,
+        )
+        assert budgeted.target_index == in_ram.target_index == 137
+        assert budgeted.complete is False
+        assert np.array_equal(np.asarray(budgeted.matrix), in_ram.matrix)
+        assert np.array_equal(np.asarray(budgeted.edge_dst), in_ram.edge_dst)
+
+    def test_collect_edges_false_leaves_logs_empty(self):
+        compiled = compile_net(producer_consumer_ring(4, 3))
+        exploration = explore_frontier(
+            compiled,
+            max_markings=1_000,
+            collect_edges=False,
+            memory_budget=TINY_BUDGET,
+        )
+        assert exploration.edge_src.size == 0
+        assert exploration.node_count == 256
+
+    def test_user_spill_dir_is_kept(self, tmp_path):
+        compiled = compile_net(producer_consumer_ring(4, 3))
+        spill_dir = tmp_path / "nested" / "spill"  # created on demand
+        explore_frontier(
+            compiled,
+            max_markings=1_000,
+            memory_budget=TINY_BUDGET,
+            spill_dir=spill_dir,
+        )
+        kept = list(spill_dir.iterdir())
+        assert kept, "a user-provided spill dir must retain its files"
+        assert any(p.name.startswith("visited-") for p in kept)
+
+    def test_spill_dir_alone_forces_outofcore_path(self, tmp_path):
+        """``spill_dir`` without a budget still routes out-of-core (no
+        shards — everything fits — but the marking log streams there)."""
+        net = producer_consumer_ring(3, 2)
+        graph = build_reachability_graph(
+            net, max_markings=GRAPH_CAP, engine="frontier", spill_dir=tmp_path
+        )
+        reference = build_reachability_graph(
+            net, max_markings=GRAPH_CAP, engine="compiled"
+        )
+        assert_graphs_identical(graph, reference)
+        assert graph._exploration.spill is not None
+        assert graph._exploration.spill.shard_count == 0
+
+
+# ----------------------------------------------------------------------
+# Budget parser + visited store unit coverage
+# ----------------------------------------------------------------------
+class TestParseMemoryBudget:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            (None, None),
+            (4096, 4096),
+            ("4096", 4096),
+            ("512b", 512),
+            ("1k", 1024),
+            ("2KB", 2048),
+            ("3KiB", 3072),
+            ("64MB", 64 * 2**20),
+            ("1.5GiB", int(1.5 * 2**30)),
+            (" 8 mb ", 8 * 2**20),
+            ("1_000", 1000),
+        ],
+    )
+    def test_accepted(self, text, expected):
+        assert parse_memory_budget(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "abc", "-5", "10TB", "MB", 0, -1])
+    def test_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_memory_budget(bad)
+
+
+class TestVisitedStore:
+    def test_lookup_across_spilled_shards(self, tmp_path):
+        store = VisitedStore(tmp_path, segment_entries=64)
+        rng = np.random.default_rng(7)
+        h1 = np.sort(rng.choice(10_000, size=300, replace=False).astype(np.int64))
+        h2 = h1 * 31 + 5
+        idx = np.arange(300, dtype=np.int64)
+        for at in range(0, 300, 50):  # several inserts => several spills
+            chunk = slice(at, at + 50)
+            store.insert(h1[chunk], h2[chunk], idx[chunk])
+        assert store.shard_count >= 3
+        found, index, h2_out = store.lookup(h1)
+        assert found.all()
+        assert np.array_equal(index, idx)
+        assert np.array_equal(h2_out, h2)
+        missing = np.array([10_001, 20_002], dtype=np.int64)
+        found, _, _ = store.lookup(missing)
+        assert not found.any()
+        store.release()
+        assert not list(tmp_path.glob("visited-*.bin"))
+
+
+# ----------------------------------------------------------------------
+# Validation + fallback
+# ----------------------------------------------------------------------
+class TestValidation:
+    @pytest.mark.parametrize("engine", ["compiled", "legacy"])
+    def test_budget_requires_frontier_engine(self, engine):
+        net = producer_consumer_ring(2, 2)
+        with pytest.raises(ValueError, match="frontier"):
+            build_reachability_graph(net, engine=engine, memory_budget=TINY_BUDGET)
+        with pytest.raises(ValueError, match="frontier"):
+            coverability_analysis(net, engine=engine, spill_dir="/tmp/x")
+        with pytest.raises(ValueError, match="frontier"):
+            find_deadlocks(net, engine=engine, symmetry="auto")
+
+    def test_corpus_rejects_budget_on_other_engines(self):
+        from repro.petrinet.corpus import generate_corpus, run_corpus
+
+        specs = generate_corpus(2, seed=0)
+        with pytest.raises(ValueError, match="frontier"):
+            run_corpus(specs, engine="compiled", memory_budget=TINY_BUDGET)
+
+    def test_corpus_budgeted_records_match_in_ram(self):
+        from repro.petrinet.corpus import generate_corpus, run_corpus
+
+        specs = generate_corpus(4, seed=11)
+        budgeted = run_corpus(specs, engine="frontier", memory_budget=TINY_BUDGET)
+        in_ram = run_corpus(specs, engine="frontier")
+        assert not budgeted.errors
+        for a, b in zip(budgeted.records, in_ram.records):
+            da, db = a.to_dict(), b.to_dict()
+            da.pop("elapsed_ms")
+            db.pop("elapsed_ms")
+            assert da == db
+
+    def test_hash_disagreement_falls_back_to_exact(self, monkeypatch):
+        import repro.petrinet.outofcore as outofcore_module
+        from repro.petrinet.frontier import _HashDisagreement
+
+        def always_disagrees(*args, **kwargs):
+            raise _HashDisagreement
+
+        monkeypatch.setattr(
+            outofcore_module, "_explore_spilling", always_disagrees
+        )
+        net = producer_consumer_ring(3, 2)
+        graph = _budgeted_graph(net, cap=200)
+        reference = build_reachability_graph(net, max_markings=200, engine="compiled")
+        assert_graphs_identical(graph, reference)
+
+
+# ----------------------------------------------------------------------
+# Symmetry reduction
+# ----------------------------------------------------------------------
+def _twin_branch_net() -> PetriNet:
+    """Two interchangeable branches fed by one source place."""
+    net = PetriNet(name="twin_branches")
+    net.add_place("src", tokens=2)
+    net.add_place("p_a")
+    net.add_place("p_b")
+    net.add_place("sink")
+    net.add_transition("t_a")
+    net.add_transition("t_b")
+    net.add_transition("u_a")
+    net.add_transition("u_b")
+    net.add_arc("src", "t_a")
+    net.add_arc("src", "t_b")
+    net.add_arc("t_a", "p_a")
+    net.add_arc("t_b", "p_b")
+    net.add_arc("p_a", "u_a")
+    net.add_arc("p_b", "u_b")
+    net.add_arc("u_a", "sink")
+    net.add_arc("u_b", "sink")
+    return net
+
+
+class TestSymmetry:
+    def test_detects_interchangeable_branches(self):
+        compiled = compile_net(fork_join_pipeline(3, 4, closed=True))
+        groups = detect_symmetries(compiled)
+        assert groups, "fork_join_pipeline branches are interchangeable"
+        assert groups[0].k == 3
+
+    def test_quotient_is_smaller_and_preserves_deadlock_verdict(self):
+        net = fork_join_pipeline(3, 4, closed=True)
+        compiled = compile_net(net)
+        full = explore_frontier(compiled, max_markings=10_000)
+        quotient = explore_frontier(
+            compiled, max_markings=10_000, symmetry="auto"
+        )
+        assert quotient.complete
+        assert quotient.node_count < full.node_count
+        assert is_deadlock_free(
+            net, engine="frontier", symmetry="auto"
+        ) == is_deadlock_free(net, engine="compiled")
+
+    def test_orbit_bounds_equal_full_place_bounds(self):
+        net = fork_join_pipeline(3, 4, closed=True)
+        budgeted = coverability_analysis(
+            net, engine="frontier", symmetry="auto", memory_budget=TINY_BUDGET
+        )
+        reference = coverability_analysis(net, engine="compiled")
+        assert budgeted.bounded == reference.bounded
+        assert budgeted.place_bounds == reference.place_bounds
+        assert budgeted.complete
+
+    def test_group_from_names_validates_real_symmetry(self):
+        compiled = compile_net(_twin_branch_net())
+        group = group_from_names(
+            compiled,
+            [["p_a"], ["p_b"]],
+            [["t_a", "u_a"], ["t_b", "u_b"]],
+        )
+        assert group.k == 2
+        quotient = explore_frontier(compiled, symmetry=group)
+        full = explore_frontier(compiled)
+        assert quotient.complete
+        assert quotient.node_count < full.node_count
+
+    def test_group_from_names_rejects_fake_symmetry(self):
+        compiled = compile_net(_twin_branch_net())
+        with pytest.raises(ValueError):
+            group_from_names(
+                compiled,
+                [["p_a"], ["sink"]],
+                [["t_a", "u_a"], ["t_b", "u_b"]],
+            )
+
+    def test_canonicalize_sorts_block_subvectors(self):
+        group = SymmetryGroup(
+            place_blocks=((0, 1), (2, 3)), transition_blocks=()
+        )
+        rows = np.array([[5, 0, 1, 2, 9], [1, 2, 5, 0, 9]], dtype=np.int64)
+        canon = canonicalize(rows, [group])
+        # blocks are (cols 0,1) and (cols 2,3); untouched tail col 4
+        assert canon.tolist() == [[1, 2, 5, 0, 9], [1, 2, 5, 0, 9]]
+        assert rows[0, 0] == 5  # input not mutated
+
+    def test_orbit_place_bounds_lifts_column_maxima(self):
+        group = SymmetryGroup(
+            place_blocks=((0, 1), (2, 3)), transition_blocks=()
+        )
+        bounds = np.array([1, 7, 4, 2, 3], dtype=np.int64)
+        lifted = orbit_place_bounds(bounds, [group])
+        assert lifted.tolist() == [4, 7, 4, 7, 3]
+
+    def test_symmetry_composes_with_budget(self, tmp_path):
+        compiled = compile_net(fork_join_pipeline(3, 4, closed=True))
+        plain = explore_frontier(compiled, max_markings=10_000, symmetry="auto")
+        budgeted = explore_budgeted(
+            compiled,
+            max_markings=10_000,
+            memory_budget=TINY_BUDGET,
+            spill_dir=tmp_path,
+            symmetry="auto",
+        )
+        assert budgeted.spill.canonical
+        assert np.array_equal(np.asarray(budgeted.matrix), plain.matrix)
+        assert np.array_equal(np.asarray(budgeted.edge_dst), plain.edge_dst)
