@@ -1,0 +1,177 @@
+"""Serving-stack benchmark: sustained events/s through the fleet kernel.
+
+The service refactor split `FleetSimulator` into the `FleetEngine`
+stepping kernel (memoized quiescence cascades + vectorized dispatch)
+and orchestration layers — the one-shot batch path and the always-on
+sharded service both drive the same kernel.  This bench pins the
+serving throughput contract:
+
+**>= 500,000 events/s aggregate on a 10,000-instance ATM fleet**
+(one-shot path, single core; ~1.0M events/s on a development machine —
+the floor leaves 2x headroom for noisy runners).
+
+It also records the always-on service path (supervisor + shard actors
++ typed messages) on a smaller fleet — informational, no floor, since
+the actor overhead is the price of incremental ingest, not of serving.
+
+Every timed row lands in ``BENCH_serve.json`` (via ``bench_io``, so
+rows accumulate across engines/runs) and ``--smoke`` appends one entry
+to the committed ``BENCH_serve.history.json`` — the machine-readable
+throughput trajectory of the serving stack across PRs.  CI runs
+``--smoke`` (scaled down, equality-checked, no floor); run through
+pytest locally for the enforced contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+from dataclasses import asdict
+
+import numpy as np
+
+from bench_io import append_history, record_bench_rows
+
+from repro.apps.atm import MODULE_PARTITION, build_atm_server_net, make_fleet_testbench
+from repro.runtime import FleetSimulator, ModuleAssignment
+from repro.service import FleetSupervisor, InjectBatch, events_to_injects
+
+#: The contract fleet: 10k ATM server instances, the Table I testbench
+#: size per instance (~114 events each with the Ticks riding along).
+CONTRACT_INSTANCES = 10_000
+CONTRACT_CELLS = 50
+
+#: Enforced floor for the one-shot serving path on the contract fleet.
+REQUIRED_EVENTS_PER_SECOND = 500_000.0
+
+#: Smoke sizes (CI): same machinery, affordable fleet.
+SMOKE_INSTANCES = 1_000
+SMOKE_CELLS = 10
+
+
+def _workload(instances: int, cells: int):
+    net = build_atm_server_net()
+    assignment = ModuleAssignment.from_groups(MODULE_PARTITION)
+    streams = make_fleet_testbench(instances, cells=cells, seed=2026)
+    return net, assignment, streams
+
+
+def _batch_row(instances: int, cells: int, rounds: int = 2):
+    """Timed one-shot runs through the kernel; returns (row, result)."""
+    net, assignment, streams = _workload(instances, cells)
+    simulator = FleetSimulator(net, assignment)
+    result = simulator.run(streams)  # warm-up: populates the cascade memo
+    best = result.elapsed_seconds
+    for _ in range(rounds):
+        best = min(best, simulator.run(streams).elapsed_seconds)
+    events = result.stats.events_processed
+    row = {
+        "path": "batch",
+        "instances": instances,
+        "events": events,
+        "seconds": best,
+        "events_per_second": events / best,
+    }
+    return row, result
+
+
+def _service_row(instances: int, cells: int, shards: int = 2):
+    """Timed service run (async shards, batch injects); returns (row, result)."""
+    net, assignment, streams = _workload(instances, cells)
+
+    async def go():
+        supervisor = FleetSupervisor(net, assignment, shards=shards)
+        await supervisor.start()
+        injects = events_to_injects(streams)
+        started = time.perf_counter()
+        for lo in range(0, len(injects), 2048):
+            await supervisor.inject(
+                InjectBatch(events=tuple(injects[lo : lo + 2048]))
+            )
+        result = await supervisor.stop(drain=True)
+        return result, time.perf_counter() - started
+
+    result, seconds = asyncio.run(go())
+    events = result.stats.events_processed
+    row = {
+        "path": "service",
+        "shards": shards,
+        "instances": instances,
+        "events": events,
+        "seconds": seconds,
+        "events_per_second": events / seconds,
+    }
+    return row, result
+
+
+def _assert_equal(expected, actual) -> None:
+    assert asdict(expected.stats) == asdict(actual.stats)
+    assert np.array_equal(expected.instance_cycles, actual.instance_cycles)
+    assert np.array_equal(expected.instance_events, actual.instance_events)
+
+
+class TestServeThroughput:
+    def test_kernel_sustains_500k_events_per_second(self):
+        """>= 500k events/s on the 10k-instance ATM contract fleet."""
+        row, _ = _batch_row(CONTRACT_INSTANCES, CONTRACT_CELLS)
+        record_bench_rows("serve", [row])
+        print(
+            f"\nserve contract: {row['instances']} instances, "
+            f"{row['events']} events in {row['seconds']:.3f}s -> "
+            f"{row['events_per_second']:,.0f} events/s"
+        )
+        assert row["events_per_second"] >= REQUIRED_EVENTS_PER_SECOND, (
+            f"serving kernel must sustain >= "
+            f"{REQUIRED_EVENTS_PER_SECOND:,.0f} events/s on the "
+            f"{CONTRACT_INSTANCES}-instance ATM fleet; measured "
+            f"{row['events_per_second']:,.0f}"
+        )
+
+    def test_service_path_matches_and_is_recorded(self):
+        """Service == batch on the same fleet; throughput recorded, no floor."""
+        service_row, service_result = _service_row(SMOKE_INSTANCES, SMOKE_CELLS)
+        net, assignment, streams = _workload(SMOKE_INSTANCES, SMOKE_CELLS)
+        expected = FleetSimulator(net, assignment).run(streams)
+        _assert_equal(expected, service_result)
+        record_bench_rows("serve", [service_row])
+        print(
+            f"\nserve service path: {service_row['events']} events via "
+            f"{service_row['shards']} shard(s) -> "
+            f"{service_row['events_per_second']:,.0f} events/s"
+        )
+
+
+def _smoke() -> int:
+    """CI pass: scaled-down fleet, equality-checked, rows + history."""
+    batch_row, batch_result = _batch_row(SMOKE_INSTANCES, SMOKE_CELLS, rounds=1)
+    service_row, service_result = _service_row(SMOKE_INSTANCES, SMOKE_CELLS)
+    _assert_equal(batch_result, service_result)
+    path = record_bench_rows("serve", [batch_row, service_row])
+    print(
+        f"smoke serve batch: {batch_row['events']} events in "
+        f"{batch_row['seconds']:.3f}s -> "
+        f"{batch_row['events_per_second']:,.0f} events/s"
+    )
+    print(
+        f"smoke serve service: {service_row['shards']} shard(s), results "
+        f"identical to batch -> {service_row['events_per_second']:,.0f} "
+        f"events/s -> {path}"
+    )
+    entry = {
+        "instances": SMOKE_INSTANCES,
+        "events": batch_row["events"],
+        "batch_events_per_second": batch_row["events_per_second"],
+        "service_events_per_second": service_row["events_per_second"],
+        "service_shards": service_row["shards"],
+    }
+    history = append_history("serve", entry)
+    print(f"smoke serve: history appended -> {history}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    if "--smoke" in sys.argv:
+        sys.exit(_smoke())
+    print("use --smoke, or run through pytest for the throughput contract")
+    sys.exit(2)

@@ -77,7 +77,7 @@ from .petrinet.corpus import (
 )
 from .petrinet.exceptions import PetriNetError
 from .qss import analyse, partition_tasks
-from .runtime import FleetSimulator, ModuleAssignment
+from .runtime import FleetSimulator, ModuleAssignment, synthetic_streams
 
 
 def _load(path: str):
@@ -223,15 +223,259 @@ def cmd_atm_table1(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    net = build_atm_server_net()
-    streams = make_fleet_testbench(
-        args.instances, cells=args.events, seed=args.seed
+def _parse_family_args(text: str, parser: argparse.ArgumentParser):
+    """Parse the ``k=v,k=v`` tail of ``--family NAME:ARGS``."""
+    overrides = {}
+    for pair in text.split(","):
+        if not pair:
+            continue
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            parser.error(
+                f"argument --family: bad parameter {pair!r} (expected key=value)"
+            )
+        if value.lower() in ("true", "false"):
+            overrides[key] = value.lower() == "true"
+        else:
+            try:
+                overrides[key] = int(value)
+            except ValueError:
+                overrides[key] = value
+    return overrides
+
+
+def _serve_workload(args: argparse.Namespace, parser: argparse.ArgumentParser):
+    """Resolve ``--family`` into (net, assignment, per-instance streams)."""
+    name, _, argstr = args.family.partition(":")
+    if name == "atm":
+        if argstr:
+            parser.error(
+                "argument --family: the built-in 'atm' family takes no "
+                "parameters"
+            )
+        net = build_atm_server_net()
+        streams = make_fleet_testbench(
+            args.instances, cells=args.events, seed=args.seed
+        )
+        if args.partition == "modules":
+            assignment = ModuleAssignment.from_groups(MODULE_PARTITION)
+        else:
+            assignment = ModuleAssignment.single_task(net)
+        return net, assignment, streams
+    family = CORPUS_FAMILIES.get(name)
+    if family is None:
+        valid = ", ".join(["atm"] + sorted(CORPUS_FAMILIES))
+        parser.error(
+            f"argument --family: unknown family {name!r} (valid: {valid})"
+        )
+    params = family.spec(args.seed).param_dict
+    overrides = _parse_family_args(argstr, parser) if argstr else {}
+    unknown = set(overrides) - set(params)
+    if unknown:
+        parser.error(
+            f"argument --family: unknown parameter(s) "
+            f"{', '.join(sorted(unknown))} for family {name!r} "
+            f"(valid: {', '.join(sorted(params))})"
+        )
+    params.update(overrides)
+    net = family.build(args.seed, params)
+    streams = synthetic_streams(
+        net, args.instances, args.events, seed=args.seed
     )
-    if args.partition == "modules":
-        assignment = ModuleAssignment.from_groups(MODULE_PARTITION)
-    else:
-        assignment = ModuleAssignment.single_task(net)
+    return net, ModuleAssignment.single_task(net), streams
+
+
+def _validate_serve_args(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> None:
+    """Up-front validation of serve flag combinations (exit code 2)."""
+    service_mode = (
+        args.shards is not None
+        or args.listen is not None
+        or args.duration is not None
+        or args.telemetry is not None
+    )
+    if args.instances < 0 or (args.instances == 0 and args.listen is None):
+        # with --listen the generated testbench is not fed; instances
+        # register lazily as events arrive, so an empty fleet is fine
+        parser.error("argument --instances: must be positive")
+    if args.events <= 0 and not args.listen:
+        parser.error("argument --events: must be positive")
+    if args.workers <= 0:
+        parser.error("argument --workers: must be positive")
+    if args.shards is not None and args.shards <= 0:
+        parser.error("argument --shards: must be positive")
+    if args.workers > 1 and service_mode:
+        parser.error(
+            "argument --workers: shards the one-shot batch run over a "
+            "process pool; use --shards (and --backend process) for the "
+            "always-on service"
+        )
+    if args.duration is not None and args.duration <= 0:
+        parser.error("argument --duration: must be positive")
+    if args.duration is not None and args.listen is None:
+        parser.error(
+            "argument --duration: only meaningful with --listen (the "
+            "in-process service drains its generated streams and stops)"
+        )
+    if service_mode and args.engine != ENGINE_COMPILED:
+        parser.error(
+            "argument --engine: the service runs on the compiled kernel; "
+            "legacy is only available for the one-shot batch run"
+        )
+    family_name = args.family.partition(":")[0]
+    if family_name != "atm" and family_name not in CORPUS_FAMILIES:
+        valid = ", ".join(["atm"] + sorted(CORPUS_FAMILIES))
+        parser.error(
+            f"argument --family: unknown family {family_name!r} "
+            f"(valid: {valid})"
+        )
+    if args.partition == "modules" and family_name != "atm":
+        parser.error(
+            "argument --partition: the 'modules' partition is specific to "
+            "the ATM server; corpus families run with --partition single"
+        )
+    if args.partition is None:
+        args.partition = "modules" if family_name == "atm" else "single"
+    if args.listen is not None:
+        host, sep, port = args.listen.rpartition(":")
+        if not sep or not host:
+            parser.error(
+                "argument --listen: expected HOST:PORT "
+                "(e.g. 127.0.0.1:9500)"
+            )
+        try:
+            args.listen_host, args.listen_port = host, int(port)
+        except ValueError:
+            parser.error(f"argument --listen: bad port {port!r}")
+
+
+async def _serve_service(args: argparse.Namespace, net, assignment, streams) -> int:
+    import asyncio as aio
+    import time as time_mod
+
+    from .service import (
+        TELEMETRY_SCHEMA,
+        FleetSupervisor,
+        IngestServer,
+        InjectBatch,
+        TelemetryWriter,
+        events_to_injects,
+    )
+
+    shards = args.shards or 1
+    supervisor = FleetSupervisor(
+        net, assignment, shards=shards, backend=args.backend
+    )
+    await supervisor.start()
+    started = time_mod.monotonic()
+    telemetry = TelemetryWriter(args.telemetry) if args.telemetry else None
+    last_events: dict = {}
+
+    async def sample() -> None:
+        snapshot = await supervisor.snapshot()
+        elapsed = time_mod.monotonic() - started
+        records = [
+            {
+                "schema": TELEMETRY_SCHEMA,
+                "kind": "shard",
+                "shard": s.shard,
+                "elapsed_seconds": elapsed,
+                "instances": s.instances,
+                "events": s.events,
+                "events_delta": s.events - last_events.get(s.shard, 0),
+                "throughput_eps": s.throughput_eps,
+                "queue_depth": s.queue_depth,
+                "budget_stops": s.budget_stops,
+                "cycle_percentiles": dict(s.percentiles),
+            }
+            for s in snapshot.shards
+        ]
+        for s in snapshot.shards:
+            last_events[s.shard] = s.events
+        records.append(
+            {
+                "schema": TELEMETRY_SCHEMA,
+                "kind": "aggregate",
+                "elapsed_seconds": elapsed,
+                "instances": snapshot.instances,
+                "events": snapshot.events,
+                "events_delta": snapshot.events
+                - last_events.get("aggregate", 0),
+                "throughput_eps": (
+                    snapshot.events / elapsed if elapsed > 0 else 0.0
+                ),
+                "queue_depth": sum(s.queue_depth for s in snapshot.shards),
+                "budget_stops": snapshot.budget_stops,
+                "cycle_percentiles": {},
+            }
+        )
+        last_events["aggregate"] = snapshot.events
+        for record in records:
+            telemetry.emit(record)
+
+    async def sampler() -> None:
+        while True:
+            await aio.sleep(args.telemetry_interval)
+            await sample()
+
+    sampler_task = aio.create_task(sampler()) if telemetry else None
+    try:
+        if args.listen is not None:
+            server = IngestServer(
+                supervisor, host=args.listen_host, port=args.listen_port
+            )
+            host, port = await server.start()
+            print(f"listening on {host}:{port} ({shards} shard(s))", flush=True)
+            try:
+                waiter = aio.create_task(server.shutdown_requested.wait())
+                try:
+                    await aio.wait_for(aio.shield(waiter), timeout=args.duration)
+                except aio.TimeoutError:
+                    waiter.cancel()
+            finally:
+                await server.stop()
+        else:
+            injects = events_to_injects(streams)
+            for i in range(0, len(injects), 512):
+                await supervisor.inject(
+                    InjectBatch(events=tuple(injects[i : i + 512]))
+                )
+    finally:
+        if sampler_task is not None:
+            sampler_task.cancel()
+            try:
+                await sampler_task
+            except aio.CancelledError:
+                pass
+        if telemetry is not None:
+            await sample()
+        result = await supervisor.stop(drain=True)
+        if telemetry is not None:
+            telemetry.close()
+    print(result.describe())
+    print(
+        f"served {result.stats.events_processed} events across "
+        f"{result.instances} instance(s) in {result.elapsed_seconds:.3f}s "
+        f"({shards} shard(s), {args.backend} backend, "
+        f"{args.partition} partition)"
+    )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    parser = args.serve_parser
+    _validate_serve_args(args, parser)
+    net, assignment, streams = _serve_workload(args, parser)
+    service_mode = (
+        args.shards is not None
+        or args.listen is not None
+        or args.telemetry is not None
+    )
+    if service_mode:
+        import asyncio
+
+        return asyncio.run(_serve_service(args, net, assignment, streams))
     fleet = FleetSimulator(net, assignment, engine=args.engine)
     result = fleet.run(streams, workers=args.workers)
     print(result.describe())
@@ -471,7 +715,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve",
-        help="execute a fleet of ATM server instances against event streams",
+        help="execute a fleet of net instances: one-shot batch run or the "
+        "always-on sharded service",
     )
     p_serve.add_argument(
         "--instances",
@@ -483,25 +728,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--events",
         type=int,
         default=50,
-        help="ATM cells per instance; the periodic Ticks ride along "
-        "(default 50, the Table I testbench size)",
+        help="events per instance; for the ATM family the periodic Ticks "
+        "ride along (default 50, the Table I testbench size)",
     )
     p_serve.add_argument("--seed", type=int, default=2026, help="fleet seed")
+    p_serve.add_argument(
+        "--family",
+        default="atm",
+        help="workload family: 'atm' (the Section 5 server, default) or "
+        "any corpus generator family, optionally with NAME:key=value,... "
+        "parameter overrides (see `repro-qss corpus --list-families`)",
+    )
     p_serve.add_argument(
         "--workers",
         type=int,
         default=1,
-        help="shard the fleet over a process pool; 1 runs in-process",
+        help="shard the one-shot batch run over a process pool; "
+        "1 runs in-process (service mode uses --shards instead)",
     )
     p_serve.add_argument(
         "--partition",
         choices=("modules", "single"),
-        default="modules",
-        help="task partition: one task per functional module (default, "
-        "pays inter-task queue traffic) or a single run-to-completion task",
+        default=None,
+        help="task partition: one task per functional module (the ATM "
+        "default; pays inter-task queue traffic) or a single "
+        "run-to-completion task (the only choice for corpus families)",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="run as the always-on actor service with this many shard "
+        "actors (hash-sharded instance routing, drain-and-stop)",
+    )
+    p_serve.add_argument(
+        "--backend",
+        choices=("async", "process"),
+        default="async",
+        help="shard backend for service mode: asyncio tasks in-process "
+        "(default) or one multiprocessing worker per shard",
+    )
+    p_serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve events from a line-delimited-JSON socket instead of "
+        "generated streams (implies service mode; port 0 picks a free port)",
+    )
+    p_serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --listen: drain and stop after this many seconds "
+        "(otherwise the service runs until a client sends shutdown)",
+    )
+    p_serve.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        help="append versioned JSON-lines telemetry (per-shard throughput, "
+        "queue depth, budget stops, cycle percentiles) to FILE while "
+        "the service runs (implies service mode)",
+    )
+    p_serve.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="telemetry sampling period (default 0.5s)",
     )
     _add_engine_flag(p_serve)
-    p_serve.set_defaults(func=cmd_serve)
+    p_serve.set_defaults(func=cmd_serve, serve_parser=p_serve)
 
     p_table1 = sub.add_parser("atm-table1", help="reproduce Table I on the ATM server")
     p_table1.add_argument("--cells", type=int, default=50)

@@ -23,7 +23,7 @@ from .events import (
     periodic_events,
     with_choices,
 )
-from .fleet import FleetResult, FleetSimulator, synthetic_streams
+from .fleet import FleetEngine, FleetResult, FleetSimulator, synthetic_streams
 from .reactive import (
     BUDGET_POLICIES,
     ModuleAssignment,
@@ -48,6 +48,7 @@ __all__ = [
     "BUDGET_POLICIES",
     "validate_budget_policy",
     "FleetSimulator",
+    "FleetEngine",
     "FleetResult",
     "synthetic_streams",
 ]

@@ -5,34 +5,44 @@ under this event stream?".  The production question is different: a
 server farm runs *thousands* of independent instances of the same
 specification, each against its own event stream.  Stepping them one by
 one through :class:`~repro.runtime.reactive.ReactiveNetSimulator` pays
-the full Python event loop per instance; :class:`FleetSimulator` steps
-all of them *together* on the compiled engine:
+the full Python event loop per instance; this module steps all of them
+*together* on the compiled engine, split into two layers:
 
-* the fleet state is a single ``(N, P)`` int64 numpy matrix — one row
-  per instance, one column per compiled place id;
-* enabledness of every transition in every instance is one vectorized
-  comparison against the compiled ``pre`` matrix (``(N, T)`` boolean);
-* each event round dispatches the next event of every instance at once
-  (per-instance seeded :class:`~repro.runtime.events.ChoiceSampler`
-  resolutions become per-row "allowed" masks), then runs all instances
-  to quiescence in lock-step — one batched firing per iteration per
-  still-active instance;
-* accounting (cycles, activations, queue traffic, firings) accumulates
-  in integer arrays and is folded into one aggregate
-  :class:`~repro.runtime.rtos.ExecutionStats` plus per-instance cycle
-  totals at the end, so percentiles across the fleet come for free.
+* :class:`FleetEngine` is the pure stepping **kernel**: it owns the
+  ``(N, P)`` int64 marking matrix (one row per instance, one column per
+  compiled place id), the batched enabledness/dispatch machinery and
+  the per-instance accounting arrays.  It is driven round by round
+  through :meth:`FleetEngine.dispatch` — one event per listed instance
+  — so the same kernel serves both a one-shot batch run over complete
+  streams and the always-on shard actors of :mod:`repro.service`,
+  which feed it incrementally from their inboxes.  Instances can be
+  added, exported and imported at runtime (the supervisor's
+  work-stealing rebalancer migrates live instances between shards).
 
-``engine="legacy"`` runs the same fleet one instance at a time on the
-string-keyed reactive simulator — the baseline
-``benchmarks/bench_runtime_fleet.py`` holds the batched engine's >= 5x
-contract against.  Both engines produce identical aggregate stats and
-identical per-instance cycle vectors
-(`tests/test_runtime_compiled_differential.py`).
+* :class:`FleetSimulator` is the stream **orchestration**: it sorts the
+  per-instance streams, feeds them to one kernel round by round
+  (``run``), loops the string-keyed reactive simulator per instance
+  (``engine="legacy"``, the benchmark baseline) and shards the fleet
+  over a ``multiprocessing`` pool (``run(streams, workers=N)``,
+  contiguous instance chunks merged in order, byte-identical results).
 
-``run(streams, workers=N)`` additionally shards the fleet over a
-``multiprocessing`` pool (contiguous instance chunks, one batched
-simulator per worker) and merges the chunk results in order, so the
-result is byte-identical to the sequential run.
+The kernel accelerates the event loop with **memoized cascades**: the
+run-to-quiescence processing of an event is fully deterministic given
+the instance's current marking, the event's source transition and its
+choice-resolution signature (the first enabled candidate in transition
+id order fires, exactly as the legacy simulator's insertion-order
+scan).  Marking states and signatures are interned to small integer
+ids, and each distinct ``(state, source, signature)`` key is simulated
+once — its firing counts, cycle charges, activations, queue crossings
+and end state become a *cascade* row.  Serving an event is then one
+table gather plus vectorized delta application, which is what lets a
+single core sustain hundreds of thousands of events per second
+(``benchmarks/bench_serve.py`` holds the contract).  Nets whose state
+or cascade population keeps growing flush the tables and eventually
+fall back to the direct batched loop, so memory stays bounded and the
+results stay *identical*: memoized, direct and legacy execution are
+pinned equal by `tests/test_runtime_compiled_differential.py` and
+`tests/test_service_differential.py`.
 """
 
 from __future__ import annotations
@@ -127,8 +137,23 @@ class FleetResult:
         return "\n".join(lines)
 
 
-class FleetSimulator:
-    """Steps N independent instances of one net as a single batch.
+#: Flush the cascade memo when the interned state or cascade population
+#: exceeds this; after :data:`MEMO_MAX_FLUSHES` flushes the kernel falls
+#: back to the direct batched loop for good (results are identical, the
+#: net is just not memoization-friendly).
+MEMO_STATE_LIMIT = 65_536
+MEMO_MAX_FLUSHES = 2
+
+
+class FleetEngine:
+    """The pure fleet stepping kernel: N instances of one compiled net.
+
+    The engine owns *state* (the marking matrix, per-instance cycle and
+    event counters, aggregate accounting) and *mechanism* (batched
+    dispatch with memoized cascades); it knows nothing about streams,
+    sockets or actors.  Drive it with :meth:`dispatch` — one event per
+    listed instance row per call — and read the outcome with
+    :meth:`result` or :meth:`stats_snapshot` at any point.
 
     Parameters
     ----------
@@ -137,13 +162,14 @@ class FleetSimulator:
         :class:`CompiledNet`).
     assignment:
         Task of every transition (must cover *all* transitions — the
-        batched engine precomputes the module table up front).
+        kernel precomputes the module table up front).
     cost_model / max_firings_per_event / on_budget:
         As for :class:`~repro.runtime.reactive.ReactiveNetSimulator`.
-    engine:
-        ``"compiled"`` (default) runs the vectorized batch; ``"legacy"``
-        loops a string-keyed reactive simulator over the instances (the
-        benchmark baseline).
+    instances:
+        Initial fleet size; :meth:`add_instances` grows it at runtime.
+    memo:
+        ``True`` (default) enables the cascade memo; ``False`` forces
+        the direct batched loop (the cross-check path).
     """
 
     def __init__(
@@ -152,31 +178,25 @@ class FleetSimulator:
         assignment: ModuleAssignment,
         cost_model: Optional[CostModel] = None,
         max_firings_per_event: int = 100_000,
-        engine: str = ENGINE_COMPILED,
         on_budget: str = "error",
+        instances: int = 0,
+        memo: bool = True,
     ) -> None:
-        self.engine = validate_engine(engine)
         self.on_budget = validate_budget_policy(on_budget)
         self.assignment = assignment
         self.cost = cost_model or CostModel()
         self.max_firings_per_event = max_firings_per_event
-        compiled = net if isinstance(net, CompiledNet) else None
-        self._net: Optional[PetriNet] = None if compiled is not None else net
-        # the legacy engine never touches the batch tables, so it skips
-        # both the compilation and the table preparation entirely
-        if self.engine == ENGINE_COMPILED:
-            self.cnet: Optional[CompiledNet] = compiled or compile_net(net)
-            self._prepare_tables()
-        else:
-            self.cnet = compiled
+        self.cnet: CompiledNet = (
+            net if isinstance(net, CompiledNet) else compile_net(net)
+        )
+        self._memo_enabled = memo
+        self._prepare_tables()
+        self._init_memo_tables()
+        self.reset(instances)
 
-    @property
-    def net(self) -> PetriNet:
-        """The named view of the specification (decompiled on demand)."""
-        if self._net is None:
-            self._net = self.cnet.decompile()
-        return self._net
-
+    # ------------------------------------------------------------------
+    # Static tables (per net + assignment + cost model)
+    # ------------------------------------------------------------------
     def _prepare_tables(self) -> None:
         cnet = self.cnet
         n_t = len(cnet.transitions)
@@ -212,37 +232,641 @@ class FleetSimulator:
             for p_id, t_ids in successors.items()
             if len(t_ids) > 1
         }
-        # choice signatures repeat heavily across events (a handful of
-        # binary choices), so the deselected-transition column set per
-        # distinct resolution dict is memoized
-        self._deselect_cache: Dict[Tuple[Tuple[str, str], ...], np.ndarray] = {}
 
-    def _deselect_columns(
-        self, signature: Tuple[Tuple[str, str], ...]
-    ) -> np.ndarray:
-        """Transition ids deselected by one event's choice resolutions.
+    # ------------------------------------------------------------------
+    # Memo tables: interned signatures, marking states and cascades
+    # ------------------------------------------------------------------
+    def _init_memo_tables(self) -> None:
+        n_t = len(self.cnet.transitions)
+        # signature id 0 is the empty resolution (allowed = everything);
+        # signatures depend only on the net, so they survive memo flushes.
+        # the raw index caches *insertion-order* items() tuples so the hot
+        # path skips the per-event sort; the canonical index keys sorted
+        # tuples so equivalent resolutions share one id.
+        self._sig_index: Dict[Tuple[Tuple[str, str], ...], int] = {(): 0}
+        self._sig_raw_index: Dict[Tuple[Tuple[str, str], ...], int] = {(): 0}
+        self._sig_allowed = np.ones((4, n_t), dtype=bool)
+        self._sig_count = 1
+        self._memo_flushes = 0
+        self._clear_cascades()
 
-        A transition is deselected when any choice place in its preset
-        resolved to a different successor — the same filter
-        :class:`ReactiveNetSimulator` applies per transition.
+    def _clear_cascades(self) -> None:
+        n_t = len(self.cnet.transitions)
+        n_m = len(self._module_names)
+        n_p = len(self.cnet.places)
+        self._state_index: Dict[bytes, int] = {}
+        self._state_mark = np.empty((8, n_p), dtype=np.int64)
+        self._state_count = 0
+        self._cascade_index: Dict[Tuple[int, int, int], int] = {}
+        cap = 8
+        self._c_count = 0
+        self._c_end = np.empty(cap, dtype=np.int64)
+        self._c_cycles = np.empty(cap, dtype=np.int64)
+        self._c_body = np.empty(cap, dtype=np.int64)
+        self._c_queue = np.empty(cap, dtype=np.int64)
+        self._c_act_total = np.empty(cap, dtype=np.int64)
+        self._c_stopped = np.empty(cap, dtype=bool)
+        self._c_bad = np.empty(cap, dtype=bool)  # source not enabled
+        self._c_fired = np.empty((cap, n_t), dtype=np.int64)
+        self._c_act = np.empty((cap, n_m), dtype=np.int64)
+
+    def _intern_signature(self, signature: Tuple[Tuple[str, str], ...]) -> int:
+        """Intern one choice-resolution signature, returning its id.
+
+        The allowed row deselects every transition whose preset contains
+        a choice place that resolved to a *different* successor — the
+        same filter :class:`ReactiveNetSimulator` applies per transition.
         """
-        columns = self._deselect_cache.get(signature)
-        if columns is None:
-            transition_index = self.cnet.transition_index
-            place_index = self.cnet.place_index
-            ids: set = set()
-            for place, chosen in signature:
-                p_id = place_index.get(place)
-                if p_id is None:
-                    continue
-                successors = self._choice_successors.get(p_id)
-                if successors is None:
-                    continue
-                chosen_id = transition_index.get(chosen, -1)
-                ids.update(successors[successors != chosen_id].tolist())
-            columns = np.array(sorted(ids), dtype=np.int64)
-            self._deselect_cache[signature] = columns
-        return columns
+        transition_index = self.cnet.transition_index
+        place_index = self.cnet.place_index
+        allowed = np.ones(len(self.cnet.transitions), dtype=bool)
+        for place, chosen in signature:
+            p_id = place_index.get(place)
+            if p_id is None:
+                continue
+            candidates = self._choice_successors.get(p_id)
+            if candidates is None:
+                continue
+            chosen_id = transition_index.get(chosen, -1)
+            allowed[candidates[candidates != chosen_id]] = False
+        sig_id = self._sig_count
+        if sig_id >= len(self._sig_allowed):
+            grown = np.ones(
+                (2 * len(self._sig_allowed), len(self.cnet.transitions)), dtype=bool
+            )
+            grown[: len(self._sig_allowed)] = self._sig_allowed
+            self._sig_allowed = grown
+        self._sig_allowed[sig_id] = allowed
+        self._sig_index[signature] = sig_id
+        self._sig_count += 1
+        return sig_id
+
+    def _intern_state(self, marking: np.ndarray) -> int:
+        key = marking.tobytes()
+        state_id = self._state_index.get(key)
+        if state_id is None:
+            state_id = self._state_count
+            if state_id >= len(self._state_mark):
+                grown = np.empty(
+                    (2 * len(self._state_mark), self._state_mark.shape[1]),
+                    dtype=np.int64,
+                )
+                grown[: len(self._state_mark)] = self._state_mark
+                self._state_mark = grown
+            self._state_mark[state_id] = marking
+            self._state_index[key] = state_id
+            self._state_count += 1
+        return state_id
+
+    # ------------------------------------------------------------------
+    # Per-run state
+    # ------------------------------------------------------------------
+    def reset(self, instances: int = 0) -> None:
+        """Reinitialize the fleet to ``instances`` fresh instances.
+
+        Interned signatures, states and cascades are *kept* — they
+        depend only on the net, assignment, cost model and budget, so a
+        warm kernel serves repeated runs without re-simulating.
+        """
+        n_p = len(self.cnet.places)
+        capacity = max(instances, 8)
+        self._n = instances
+        self._initial = np.array(self.cnet.initial, dtype=np.int64)
+        self._markings = np.empty((capacity, n_p), dtype=np.int64)
+        self._markings[:instances] = self._initial
+        self._cycles = np.zeros(capacity, dtype=np.int64)
+        self._events = np.zeros(capacity, dtype=np.int64)
+        self._fire_counts = np.zeros(len(self.cnet.transitions), dtype=np.int64)
+        self._activation_counts = np.zeros(len(self._module_names), dtype=np.int64)
+        self._activation_total = 0
+        self._body_total = 0
+        self._queue_total = 0
+        self._budget_stops = 0
+        self._memo_active = self._memo_enabled
+        self._state_of_row = np.zeros(capacity, dtype=np.int64)
+        if self._memo_active:
+            self._state_of_row[:instances] = self._intern_state(self._initial)
+
+    def reset_state(self, reset_stats: bool = True) -> None:
+        """Reset every instance to the initial marking (service reload).
+
+        With ``reset_stats`` (default) the accounting starts over as
+        well; otherwise cycle/event counters keep accumulating across
+        the reload.
+        """
+        self._markings[: self._n] = self._initial
+        if self._memo_active:
+            self._state_of_row[: self._n] = self._intern_state(self._initial)
+        if reset_stats:
+            self._cycles[: self._n] = 0
+            self._events[: self._n] = 0
+            self._fire_counts[:] = 0
+            self._activation_counts[:] = 0
+            self._activation_total = 0
+            self._body_total = 0
+            self._queue_total = 0
+            self._budget_stops = 0
+
+    @property
+    def instances(self) -> int:
+        return self._n
+
+    @property
+    def events_total(self) -> int:
+        return int(self._events[: self._n].sum())
+
+    def _grow(self, needed: int) -> None:
+        capacity = len(self._cycles)
+        if needed <= capacity:
+            return
+        new_cap = max(needed, 2 * capacity)
+        for name in ("_cycles", "_events", "_state_of_row"):
+            old = getattr(self, name)
+            grown = np.zeros(new_cap, dtype=old.dtype)
+            grown[: self._n] = old[: self._n]
+            setattr(self, name, grown)
+        old_m = self._markings
+        self._markings = np.empty((new_cap, old_m.shape[1]), dtype=np.int64)
+        self._markings[: self._n] = old_m[: self._n]
+
+    def add_instances(self, count: int) -> np.ndarray:
+        """Register ``count`` fresh instances; returns their row indices."""
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        self._grow(self._n + count)
+        rows = np.arange(self._n, self._n + count, dtype=np.int64)
+        self._markings[rows] = self._initial
+        self._cycles[rows] = 0
+        self._events[rows] = 0
+        if self._memo_active:
+            self._state_of_row[rows] = self._intern_state(self._initial)
+        self._n += count
+        return rows
+
+    def export_instance(self, row: int) -> Tuple[List[int], int, int]:
+        """Snapshot one instance's migratable state (marking, cycles, events).
+
+        Aggregate accounting (firings, activations, cycle totals) stays
+        with the exporting kernel — the supervisor sums it across shards
+        anyway, so migration never loses or double-counts work.
+        """
+        if self._memo_active:
+            marking = self._state_mark[self._state_of_row[row]]
+        else:
+            marking = self._markings[row]
+        return (
+            [int(v) for v in marking],
+            int(self._cycles[row]),
+            int(self._events[row]),
+        )
+
+    def remove_instance(self, row: int) -> int:
+        """Drop one instance (after :meth:`export_instance` for migration).
+
+        The last row is swapped into the vacated slot; returns the old
+        index of that moved row so callers can fix their key maps.
+        Aggregate accounting keeps the removed instance's *past*
+        contribution — its future work accrues wherever it is imported,
+        so fleet-wide sums still count every charge exactly once.
+        """
+        last = self._n - 1
+        if row != last:
+            self._markings[row] = self._markings[last]
+            self._cycles[row] = self._cycles[last]
+            self._events[row] = self._events[last]
+            self._state_of_row[row] = self._state_of_row[last]
+        self._n = last
+        return last
+
+    def import_instance(self, state: Tuple[Sequence[int], int, int]) -> int:
+        """Restore a migrated instance; returns its new row index."""
+        marking, cycles, events = state
+        row = int(self.add_instances(1)[0])
+        vector = np.array(list(marking), dtype=np.int64)
+        self._markings[row] = vector
+        self._cycles[row] = cycles
+        self._events[row] = events
+        if self._memo_active:
+            self._state_of_row[row] = self._intern_state(vector)
+        return row
+
+    # ------------------------------------------------------------------
+    # Dispatch: one event per listed instance row
+    # ------------------------------------------------------------------
+    def dispatch(self, rows: Sequence[int], events: Sequence[Event]) -> None:
+        """Serve one *round*: ``events[j]`` is dispatched to instance
+        ``rows[j]``.  Rows must be unique within a call (an instance's
+        events are ordered; feed them in consecutive rounds)."""
+        count = len(events)
+        if count == 0:
+            return
+        row_arr = np.asarray(rows, dtype=np.int64)
+        src_ids, sig_ids = self.prepare_events(events)
+        self.dispatch_ids(row_arr, src_ids, sig_ids)
+
+    def dispatch_ids(
+        self, rows: np.ndarray, src_ids: np.ndarray, sig_ids: np.ndarray
+    ) -> None:
+        """:meth:`dispatch` for pre-interned events (see :meth:`prepare_events`)."""
+        if len(src_ids) == 0:
+            return
+        if self._memo_active and (
+            self._state_count > MEMO_STATE_LIMIT
+            or self._c_count > MEMO_STATE_LIMIT
+        ):
+            self._flush_memo()
+        if self._memo_active:
+            self._dispatch_memo(rows, src_ids, sig_ids)
+        else:
+            self._dispatch_direct(rows, src_ids, sig_ids)
+
+    def prepare_events(
+        self, events: Sequence[Event]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Intern a batch of events into (source id, signature id) columns.
+
+        The hot loop of the serving path: one raw-cache hit per event in
+        the steady state (the insertion-order ``items()`` tuple doubles
+        as the lookup key, so repeated resolutions skip the sort)."""
+        src_list: List[int] = []
+        sig_list: List[int] = []
+        add_src = src_list.append
+        add_sig = sig_list.append
+        lookup_src = self.cnet.transition_index.get
+        lookup_sig = self._sig_raw_index.get
+        for event in events:
+            t_id = lookup_src(event.source)
+            if t_id is None:
+                raise NotEnabledError(
+                    f"unknown source transition {event.source!r}"
+                )
+            add_src(t_id)
+            choices = event.choices
+            if choices:
+                raw = tuple(choices.items())
+                sig_id = lookup_sig(raw)
+                if sig_id is None:
+                    sig_id = self._intern_raw_signature(raw)
+                add_sig(sig_id)
+            else:
+                add_sig(0)
+        return (
+            np.array(src_list, dtype=np.int64),
+            np.array(sig_list, dtype=np.int64),
+        )
+
+    def _intern_raw_signature(self, raw: Tuple[Tuple[str, str], ...]) -> int:
+        signature = tuple(sorted(raw))
+        sig_id = self._sig_index.get(signature)
+        if sig_id is None:
+            sig_id = self._intern_signature(signature)
+        self._sig_raw_index[raw] = sig_id
+        return sig_id
+
+    # -- memoized path -------------------------------------------------
+    def _flush_memo(self) -> None:
+        """Drop the state/cascade tables (population outgrew the limit).
+
+        After :data:`MEMO_MAX_FLUSHES` flushes the kernel concludes the
+        net is not memoization-friendly and switches to the direct loop.
+        """
+        self._materialize_markings()
+        self._memo_flushes += 1
+        if self._memo_flushes >= MEMO_MAX_FLUSHES:
+            self._memo_active = False
+            return
+        self._clear_cascades()
+        live = self._markings[: self._n]
+        if self._n:
+            unique, inverse = np.unique(live, axis=0, return_inverse=True)
+            ids = np.array(
+                [self._intern_state(unique[k]) for k in range(len(unique))],
+                dtype=np.int64,
+            )
+            self._state_of_row[: self._n] = ids[inverse]
+
+    def _materialize_markings(self) -> None:
+        if self._memo_active and self._n:
+            self._markings[: self._n] = self._state_mark[
+                self._state_of_row[: self._n]
+            ]
+
+    def _dispatch_memo(
+        self, rows: np.ndarray, src_ids: np.ndarray, sig_ids: np.ndarray
+    ) -> None:
+        state_ids = self._state_of_row[rows]
+        # pack (state, src, sig) into one sortable key; spans are
+        # per-round local, the cascade index itself is keyed by tuples
+        span_sig = self._sig_count
+        span_src = len(self.cnet.transitions)
+        packed = (state_ids * span_src + src_ids) * span_sig + sig_ids
+        unique_keys, inverse = np.unique(packed, return_inverse=True)
+        cascade_of_key = np.empty(len(unique_keys), dtype=np.int64)
+        cascade_index = self._cascade_index
+        for k, key in enumerate(unique_keys.tolist()):
+            sig = key % span_sig
+            rest = key // span_sig
+            src = rest % span_src
+            state = rest // span_src
+            cascade_id = cascade_index.get((state, src, sig))
+            if cascade_id is None:
+                cascade_id = self._compute_cascade(int(state), int(src), int(sig))
+            cascade_of_key[k] = cascade_id
+        cascade_ids = cascade_of_key[inverse]
+
+        bad = self._c_bad[cascade_ids]
+        if bad.any():
+            first = int(np.flatnonzero(bad)[0])
+            name = self.cnet.transitions[int(src_ids[first])]
+            raise NotEnabledError(
+                f"transition {name!r} is not enabled in instance "
+                f"{int(rows[first])}"
+            )
+
+        self._cycles[rows] += self._c_cycles[cascade_ids]
+        self._events[rows] += 1
+        self._state_of_row[rows] = self._c_end[cascade_ids]
+        unique_cascades, counts = np.unique(cascade_ids, return_counts=True)
+        self._fire_counts += self._c_fired[unique_cascades].T @ counts
+        self._activation_counts += self._c_act[unique_cascades].T @ counts
+        self._body_total += int(self._c_body[unique_cascades] @ counts)
+        self._queue_total += int(self._c_queue[unique_cascades] @ counts)
+        self._activation_total += int(self._c_act_total[unique_cascades] @ counts)
+        self._budget_stops += int(
+            counts[self._c_stopped[unique_cascades]].sum()
+        )
+
+    def _compute_cascade(self, state: int, src: int, sig: int) -> int:
+        """Simulate one (state, source, signature) event to quiescence.
+
+        A literal single-row transcription of the direct batched loop —
+        the cascade must charge cycle for cycle what the loop charges.
+        """
+        pre = self.cnet.pre
+        incidence = self.cnet.incidence
+        fire_cycles = self._fire_cycles
+        module_of = self._module_of
+        allowed = self._sig_allowed[sig] & self._nonsource
+        activation = self.cost.activation_cycles
+        queue_round_trip = 2 * self.cost.queue_op_cycles
+        budget = self.max_firings_per_event
+        stop_on_budget = self.on_budget == "stop"
+
+        n_t = len(self.cnet.transitions)
+        fired = np.zeros(n_t, dtype=np.int64)
+        activations = np.zeros(len(self._module_names), dtype=np.int64)
+        marking = self._state_mark[state].copy()
+        bad = not bool(np.all(marking >= pre[src]))
+        cycles = body = queue = activation_total = 0
+        stopped = False
+        if not bad:
+            cycles = int(activation + fire_cycles[src])
+            activations[module_of[src]] += 1
+            activation_total = activation
+            marking += incidence[src]
+            fired[src] += 1
+            body = int(fire_cycles[src])
+            current_module = int(module_of[src])
+            firings = 1
+            while True:
+                candidates = np.all(marking >= pre, axis=1) & allowed
+                if not candidates.any():
+                    break
+                chosen = int(candidates.argmax())
+                module = int(module_of[chosen])
+                if module != current_module:
+                    cycles += queue_round_trip + activation
+                    queue += queue_round_trip
+                    activation_total += activation
+                    activations[module] += 1
+                    current_module = module
+                marking += incidence[chosen]
+                cycles += int(fire_cycles[chosen])
+                fired[chosen] += 1
+                body += int(fire_cycles[chosen])
+                firings += 1
+                if firings > budget:
+                    if not stop_on_budget:
+                        raise RuntimeError(QUIESCENCE_MESSAGE)
+                    stopped = True
+                    break
+
+        cascade_id = self._c_count
+        if cascade_id >= len(self._c_end):
+            for name in (
+                "_c_end",
+                "_c_cycles",
+                "_c_body",
+                "_c_queue",
+                "_c_act_total",
+                "_c_stopped",
+                "_c_bad",
+            ):
+                old = getattr(self, name)
+                grown = np.empty(2 * len(old), dtype=old.dtype)
+                grown[: len(old)] = old
+                setattr(self, name, grown)
+            for name in ("_c_fired", "_c_act"):
+                old = getattr(self, name)
+                grown = np.empty((2 * len(old), old.shape[1]), dtype=old.dtype)
+                grown[: len(old)] = old
+                setattr(self, name, grown)
+        self._c_end[cascade_id] = state if bad else self._intern_state(marking)
+        self._c_cycles[cascade_id] = cycles
+        self._c_body[cascade_id] = body
+        self._c_queue[cascade_id] = queue
+        self._c_act_total[cascade_id] = activation_total
+        self._c_stopped[cascade_id] = stopped
+        self._c_bad[cascade_id] = bad
+        self._c_fired[cascade_id] = fired
+        self._c_act[cascade_id] = activations
+        self._cascade_index[(state, src, sig)] = cascade_id
+        self._c_count += 1
+        return cascade_id
+
+    # -- direct path (the original batched loop) -----------------------
+    def _dispatch_direct(
+        self, rows: np.ndarray, src_ids: np.ndarray, sig_ids: np.ndarray
+    ) -> None:
+        cnet = self.cnet
+        count = len(rows)
+        pre = cnet.pre
+        incidence = cnet.incidence
+        fire_cycles = self._fire_cycles
+        module_of = self._module_of
+        nonsource = self._nonsource
+        markings = self._markings
+        activation = self.cost.activation_cycles
+        queue_round_trip = 2 * self.cost.queue_op_cycles
+        budget = self.max_firings_per_event
+        stop_on_budget = self.on_budget == "stop"
+
+        allowed = self._sig_allowed[sig_ids]
+
+        # dispatch: one activation per event, then fire the source
+        src_modules = module_of[src_ids]
+        if not np.all(markings[rows] >= pre[src_ids]):
+            bad = rows[~np.all(markings[rows] >= pre[src_ids], axis=1)][0]
+            position = int(np.flatnonzero(rows == bad)[0])
+            name = cnet.transitions[int(src_ids[position])]
+            raise NotEnabledError(
+                f"transition {name!r} is not enabled in instance {int(bad)}"
+            )
+        self._cycles[rows] += activation + fire_cycles[src_ids]
+        np.add.at(self._activation_counts, src_modules, 1)
+        self._activation_total += activation * count
+        markings[rows] += incidence[src_ids]
+        np.add.at(self._fire_counts, src_ids, 1)
+        self._body_total += int(fire_cycles[src_ids].sum())
+        self._events[rows] += 1
+
+        # run to quiescence, one batched firing per iteration
+        current_module = src_modules.copy()
+        firings = np.ones(count, dtype=np.int64)
+        active = np.arange(count)
+        while active.size:
+            sub_rows = rows[active]
+            enabled = np.all(
+                markings[sub_rows][:, np.newaxis, :] >= pre[np.newaxis, :, :],
+                axis=2,
+            )
+            candidates = enabled & allowed[active] & nonsource[np.newaxis, :]
+            has_candidate = candidates.any(axis=1)
+            active = active[has_candidate]
+            if not active.size:
+                break
+            candidates = candidates[has_candidate]
+            sub_rows = rows[active]
+            # argmax of a boolean row = first True = lowest transition
+            # id = the legacy "first candidate in insertion order"
+            chosen = candidates.argmax(axis=1)
+            modules = module_of[chosen]
+            crossed = modules != current_module[active]
+            if crossed.any():
+                crossed_count = int(crossed.sum())
+                self._cycles[sub_rows[crossed]] += queue_round_trip + activation
+                self._queue_total += queue_round_trip * crossed_count
+                self._activation_total += activation * crossed_count
+                np.add.at(self._activation_counts, modules[crossed], 1)
+            current_module[active] = modules
+            markings[sub_rows] += incidence[chosen]
+            self._cycles[sub_rows] += fire_cycles[chosen]
+            np.add.at(self._fire_counts, chosen, 1)
+            self._body_total += int(fire_cycles[chosen].sum())
+            firings[active] += 1
+            over = firings[active] > budget
+            if over.any():
+                if not stop_on_budget:
+                    raise RuntimeError(QUIESCENCE_MESSAGE)
+                self._budget_stops += int(over.sum())
+                active = active[~over]
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def aggregate_stats(self) -> ExecutionStats:
+        """The aggregate :class:`ExecutionStats` accumulated so far."""
+        stats = ExecutionStats()
+        stats.events_processed = int(self._events[: self._n].sum())
+        stats.activation_cycles = self._activation_total
+        stats.body_cycles = self._body_total
+        stats.queue_cycles = self._queue_total
+        stats.total_cycles = (
+            self._activation_total + self._body_total + self._queue_total
+        )
+        stats.budget_stops = self._budget_stops
+        stats.activations = {
+            self._module_names[m]: int(c)
+            for m, c in enumerate(self._activation_counts)
+            if c
+        }
+        stats.firings = {
+            self.cnet.transitions[t]: int(c)
+            for t, c in enumerate(self._fire_counts)
+            if c
+        }
+        return stats
+
+    def instance_cycles(self) -> np.ndarray:
+        return self._cycles[: self._n].copy()
+
+    def instance_events(self) -> np.ndarray:
+        return self._events[: self._n].copy()
+
+    def result(
+        self, engine: str = ENGINE_COMPILED, elapsed_seconds: float = 0.0
+    ) -> FleetResult:
+        """Fold the accumulated accounting into a :class:`FleetResult`."""
+        return FleetResult(
+            stats=self.aggregate_stats(),
+            instance_cycles=self.instance_cycles(),
+            instance_events=self.instance_events(),
+            engine=engine,
+            elapsed_seconds=elapsed_seconds,
+        )
+
+
+class FleetSimulator:
+    """Steps N independent instances of one net as a single batch.
+
+    A thin stream-orchestration layer over :class:`FleetEngine`: the
+    same kernel that backs the always-on service
+    (:mod:`repro.service`) is driven here with complete per-instance
+    streams, round by round (round ``k`` dispatches the ``k``-th event
+    of every instance at once).
+
+    Parameters
+    ----------
+    net:
+        The specification (:class:`PetriNet` or pre-compiled
+        :class:`CompiledNet`).
+    assignment:
+        Task of every transition (must cover *all* transitions).
+    cost_model / max_firings_per_event / on_budget:
+        As for :class:`~repro.runtime.reactive.ReactiveNetSimulator`.
+    engine:
+        ``"compiled"`` (default) runs the vectorized kernel; ``"legacy"``
+        loops a string-keyed reactive simulator over the instances (the
+        benchmark baseline).
+    """
+
+    def __init__(
+        self,
+        net: Union[PetriNet, CompiledNet],
+        assignment: ModuleAssignment,
+        cost_model: Optional[CostModel] = None,
+        max_firings_per_event: int = 100_000,
+        engine: str = ENGINE_COMPILED,
+        on_budget: str = "error",
+    ) -> None:
+        self.engine = validate_engine(engine)
+        self.on_budget = validate_budget_policy(on_budget)
+        self.assignment = assignment
+        self.cost = cost_model or CostModel()
+        self.max_firings_per_event = max_firings_per_event
+        compiled = net if isinstance(net, CompiledNet) else None
+        self._net: Optional[PetriNet] = None if compiled is not None else net
+        # the legacy engine never touches the kernel, so it skips both
+        # the compilation and the table preparation entirely
+        if self.engine == ENGINE_COMPILED:
+            self.kernel: Optional[FleetEngine] = FleetEngine(
+                compiled or compile_net(net),
+                assignment,
+                cost_model=self.cost,
+                max_firings_per_event=max_firings_per_event,
+                on_budget=self.on_budget,
+            )
+            self.cnet: Optional[CompiledNet] = self.kernel.cnet
+        else:
+            self.kernel = None
+            self.cnet = compiled
+
+    @property
+    def net(self) -> PetriNet:
+        """The named view of the specification (decompiled on demand)."""
+        if self._net is None:
+            self._net = self.cnet.decompile()
+        return self._net
 
     # ------------------------------------------------------------------
     # Entry point
@@ -294,139 +918,34 @@ class FleetSimulator:
         )
 
     # ------------------------------------------------------------------
-    # Compiled engine: the (N, P) batch
+    # Compiled engine: drive the kernel round by round
     # ------------------------------------------------------------------
     def _run_batched(self, streams: Sequence[Sequence[Event]]) -> FleetResult:
-        cnet = self.cnet
+        kernel = self.kernel
         n = len(streams)
-        n_t = len(cnet.transitions)
-        pre = cnet.pre
-        incidence = cnet.incidence
-        fire_cycles = self._fire_cycles
-        module_of = self._module_of
-        nonsource = self._nonsource
-        transition_index = cnet.transition_index
-        activation = self.cost.activation_cycles
-        queue_round_trip = 2 * self.cost.queue_op_cycles
-        budget = self.max_firings_per_event
-        stop_on_budget = self.on_budget == "stop"
-
-        ordered = [sorted(stream, key=lambda e: e.time) for stream in streams]
-        lengths = np.array([len(stream) for stream in ordered], dtype=np.int64)
-
-        markings = np.tile(np.array(cnet.initial, dtype=np.int64), (n, 1))
-        cycles = np.zeros(n, dtype=np.int64)
-        events = np.zeros(n, dtype=np.int64)
-        fire_counts = np.zeros(n_t, dtype=np.int64)
-        activation_counts = np.zeros(len(self._module_names), dtype=np.int64)
-        activation_total = 0
-        body_total = 0
-        queue_total = 0
-        budget_stops = 0
-
-        for round_k in range(int(lengths.max()) if n else 0):
+        kernel.reset(n)
+        lengths = np.array([len(stream) for stream in streams], dtype=np.int64)
+        max_len = int(lengths.max()) if n else 0
+        if max_len == 0:
+            return kernel.result(engine=self.engine)
+        # intern every stream once up front: rounds become pure column
+        # slices of the padded (N, max_len) id matrices
+        src_matrix = np.zeros((n, max_len), dtype=np.int64)
+        sig_matrix = np.zeros((n, max_len), dtype=np.int64)
+        timer = lambda e: e.time  # noqa: E731
+        for i, stream in enumerate(streams):
+            if not stream:
+                continue
+            ordered = sorted(stream, key=timer)
+            src_ids, sig_ids = kernel.prepare_events(ordered)
+            src_matrix[i, : len(ordered)] = src_ids
+            sig_matrix[i, : len(ordered)] = sig_ids
+        for round_k in range(max_len):
             rows = np.flatnonzero(lengths > round_k)
-            count = len(rows)
-            # per-round event tables: source ids and data-choice masks,
-            # grouped by choice signature so each distinct resolution
-            # dict costs one batched scatter instead of one per instance
-            src_ids = np.empty(count, dtype=np.int64)
-            allowed = np.ones((count, n_t), dtype=bool)
-            groups: Dict[Tuple[Tuple[str, str], ...], List[int]] = {}
-            for j, i in enumerate(rows):
-                event = ordered[i][round_k]
-                try:
-                    src_ids[j] = transition_index[event.source]
-                except KeyError:
-                    raise NotEnabledError(
-                        f"unknown source transition {event.source!r}"
-                    ) from None
-                if event.choices:
-                    signature = tuple(sorted(event.choices.items()))
-                    groups.setdefault(signature, []).append(j)
-            for signature, members in groups.items():
-                columns = self._deselect_columns(signature)
-                if columns.size:
-                    allowed[np.ix_(np.array(members, dtype=np.int64), columns)] = False
-
-            # dispatch: one activation per event, then fire the source
-            src_modules = module_of[src_ids]
-            if not np.all(markings[rows] >= pre[src_ids]):
-                bad = rows[~np.all(markings[rows] >= pre[src_ids], axis=1)][0]
-                name = ordered[bad][round_k].source
-                raise NotEnabledError(
-                    f"transition {name!r} is not enabled in instance {bad}"
-                )
-            cycles[rows] += activation + fire_cycles[src_ids]
-            np.add.at(activation_counts, src_modules, 1)
-            activation_total += activation * count
-            markings[rows] += incidence[src_ids]
-            np.add.at(fire_counts, src_ids, 1)
-            body_total += int(fire_cycles[src_ids].sum())
-            events[rows] += 1
-
-            # run to quiescence, one batched firing per iteration
-            current_module = src_modules.copy()
-            firings = np.ones(count, dtype=np.int64)
-            active = np.arange(count)
-            while active.size:
-                sub_rows = rows[active]
-                enabled = np.all(
-                    markings[sub_rows][:, np.newaxis, :] >= pre[np.newaxis, :, :],
-                    axis=2,
-                )
-                candidates = enabled & allowed[active] & nonsource[np.newaxis, :]
-                has_candidate = candidates.any(axis=1)
-                active = active[has_candidate]
-                if not active.size:
-                    break
-                candidates = candidates[has_candidate]
-                sub_rows = rows[active]
-                # argmax of a boolean row = first True = lowest transition
-                # id = the legacy "first candidate in insertion order"
-                chosen = candidates.argmax(axis=1)
-                modules = module_of[chosen]
-                crossed = modules != current_module[active]
-                if crossed.any():
-                    crossed_count = int(crossed.sum())
-                    cycles[sub_rows[crossed]] += queue_round_trip + activation
-                    queue_total += queue_round_trip * crossed_count
-                    activation_total += activation * crossed_count
-                    np.add.at(activation_counts, modules[crossed], 1)
-                current_module[active] = modules
-                markings[sub_rows] += incidence[chosen]
-                cycles[sub_rows] += fire_cycles[chosen]
-                np.add.at(fire_counts, chosen, 1)
-                body_total += int(fire_cycles[chosen].sum())
-                firings[active] += 1
-                over = firings[active] > budget
-                if over.any():
-                    if not stop_on_budget:
-                        raise RuntimeError(QUIESCENCE_MESSAGE)
-                    budget_stops += int(over.sum())
-                    active = active[~over]
-
-        stats = ExecutionStats()
-        stats.events_processed = int(events.sum())
-        stats.activation_cycles = activation_total
-        stats.body_cycles = body_total
-        stats.queue_cycles = queue_total
-        stats.total_cycles = activation_total + body_total + queue_total
-        stats.budget_stops = budget_stops
-        stats.activations = {
-            self._module_names[m]: int(c)
-            for m, c in enumerate(activation_counts)
-            if c
-        }
-        stats.firings = {
-            cnet.transitions[t]: int(c) for t, c in enumerate(fire_counts) if c
-        }
-        return FleetResult(
-            stats=stats,
-            instance_cycles=cycles,
-            instance_events=events,
-            engine=self.engine,
-        )
+            kernel.dispatch_ids(
+                rows, src_matrix[rows, round_k], sig_matrix[rows, round_k]
+            )
+        return kernel.result(engine=self.engine)
 
     # ------------------------------------------------------------------
     # Process-pool sharding
@@ -510,7 +1029,10 @@ def synthetic_streams(
     successors from a per-instance seeded
     :class:`~repro.runtime.events.ChoiceSampler`.  Used by the corpus
     runtime sweep and the differential suite; nets without source
-    transitions yield empty streams.
+    transitions yield empty streams.  The streams are fully determined
+    by the arguments — identical across processes and platforms
+    (`tests/test_service_differential.py` pins this, because the
+    service's process-backed shards rely on it).
     """
     named = net.decompile() if isinstance(net, CompiledNet) else net
     sources = named.source_transitions()

@@ -1,0 +1,66 @@
+"""The always-on fleet service: actor-style serving of net instances.
+
+Layered on the :class:`~repro.runtime.fleet.FleetEngine` stepping
+kernel:
+
+- :mod:`~repro.service.messages` — frozen typed messages + the
+  versioned JSON wire codec every endpoint speaks.
+- :mod:`~repro.service.shard` — the shard actor: a bounded inbox
+  draining into one kernel in vectorized batches.
+- :mod:`~repro.service.supervisor` — hash-sharded routing, async or
+  process shard backends, snapshots, work stealing, drain-and-stop.
+- :mod:`~repro.service.ingest` — the LDJSON socket server and the
+  socket/in-process clients.
+- :mod:`~repro.service.telemetry` — versioned JSON-lines telemetry.
+
+``repro-qss serve --shards/--listen/--duration/--telemetry`` is the
+CLI front end; ``tests/test_service_differential.py`` pins service
+results equal to the one-shot batch path.
+"""
+
+from .ingest import IngestServer, LocalClient, ServiceClient, events_to_injects
+from .messages import (
+    WIRE_SCHEMA,
+    Ack,
+    InjectBatch,
+    InjectEvent,
+    ProtocolError,
+    Reload,
+    ShardStats,
+    Shutdown,
+    SnapshotReply,
+    SnapshotRequest,
+    decode_message,
+    encode_message,
+)
+from .shard import DEFAULT_INBOX_LIMIT, ShardActor, ShardCore
+from .supervisor import SERVICE_BACKENDS, FleetSupervisor, validate_backend
+from .telemetry import TELEMETRY_SCHEMA, TelemetryWriter, validate_telemetry_record
+
+__all__ = [
+    "WIRE_SCHEMA",
+    "TELEMETRY_SCHEMA",
+    "SERVICE_BACKENDS",
+    "DEFAULT_INBOX_LIMIT",
+    "Ack",
+    "InjectBatch",
+    "InjectEvent",
+    "ProtocolError",
+    "Reload",
+    "ShardStats",
+    "Shutdown",
+    "SnapshotReply",
+    "SnapshotRequest",
+    "decode_message",
+    "encode_message",
+    "FleetSupervisor",
+    "validate_backend",
+    "ShardActor",
+    "ShardCore",
+    "IngestServer",
+    "ServiceClient",
+    "LocalClient",
+    "events_to_injects",
+    "TelemetryWriter",
+    "validate_telemetry_record",
+]

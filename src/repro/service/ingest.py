@@ -1,0 +1,294 @@
+"""Event ingest: the LDJSON socket server and the service clients.
+
+:class:`IngestServer` exposes a running
+:class:`~repro.service.supervisor.FleetSupervisor` over TCP, one wire
+message (:mod:`repro.service.messages`) per line in both directions.
+Injects propagate the shard actors' backpressure naturally: the
+connection handler ``await``s the supervisor, so while shard inboxes
+are full the handler stops reading its socket, the kernel buffer and
+TCP window fill, and the *client* slows down — overload degrades to
+latency, never to unbounded server memory.  Malformed lines are
+answered with a ``not-ok`` :class:`~repro.service.messages.Ack`
+carrying the parse error; the connection stays up.
+
+Two client flavours share one API surface (inject / snapshot / reload
+/ shutdown): :class:`ServiceClient` speaks the codec over a socket
+(what external producers use, and what the socket tests drive), and
+:class:`LocalClient` calls the supervisor directly in-process (what the
+CLI and most tests use — same types, no serialization).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from .messages import (
+    Ack,
+    InjectBatch,
+    InjectEvent,
+    ProtocolError,
+    Reload,
+    Shutdown,
+    SnapshotReply,
+    SnapshotRequest,
+    decode_message,
+    encode_message,
+)
+from .supervisor import FleetSupervisor
+
+#: Per-line stream buffer limit, both directions.  asyncio's 64 KiB
+#: default truncates a large :class:`InjectBatch` (one JSON line); a
+#: line beyond even this limit closes the connection rather than
+#: buffering unboundedly.
+STREAM_LIMIT = 16 * 1024 * 1024
+
+#: Injects per wire line: :meth:`ServiceClient.inject_batch` splits
+#: larger batches so no single line approaches :data:`STREAM_LIMIT`.
+BATCH_CHUNK = 4096
+
+
+class IngestServer:
+    """Line-delimited-JSON TCP front end for a fleet supervisor."""
+
+    def __init__(
+        self,
+        supervisor: FleetSupervisor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.supervisor = supervisor
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: Set when a client sends :class:`Shutdown`; the owner of the
+        #: supervisor awaits this (or a duration timeout) and then calls
+        #: ``supervisor.stop()`` — the server never stops the fleet itself.
+        self.shutdown_requested = asyncio.Event()
+        self.shutdown_drain = True
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=STREAM_LIMIT
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    message = decode_message(stripped)
+                except ProtocolError as error:
+                    await self._reply(writer, Ack(ok=False, error=str(error)))
+                    continue
+                if isinstance(message, (InjectEvent, InjectBatch)):
+                    # awaiting under backpressure pauses this reader —
+                    # that is the flow control
+                    await self.supervisor.inject(message)
+                elif isinstance(message, SnapshotRequest):
+                    reply = await self.supervisor.snapshot()
+                    await self._reply(
+                        writer,
+                        dataclasses.replace(
+                            reply, request_id=message.request_id
+                        ),
+                    )
+                elif isinstance(message, Reload):
+                    await self.supervisor.reload(
+                        reset_stats=message.reset_stats
+                    )
+                    await self._reply(writer, Ack())
+                elif isinstance(message, Shutdown):
+                    self.shutdown_drain = message.drain
+                    self.shutdown_requested.set()
+                    await self._reply(
+                        writer, Ack(request_id=message.request_id)
+                    )
+                else:
+                    await self._reply(
+                        writer,
+                        Ack(
+                            ok=False,
+                            error=f"unexpected message type {message.TYPE!r}",
+                        ),
+                    )
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except ValueError:
+            # a single line exceeded STREAM_LIMIT: the stream cannot be
+            # re-synchronized mid-line, so drop this connection cleanly
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    @staticmethod
+    async def _reply(writer: asyncio.StreamWriter, message) -> None:
+        writer.write(encode_message(message).encode() + b"\n")
+        await writer.drain()
+
+
+class ServiceClient:
+    """Socket client speaking the wire codec (one request at a time)."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+        self._next_id = 1
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=STREAM_LIMIT
+        )
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+
+    async def _send(self, message) -> None:
+        self._writer.write(encode_message(message).encode() + b"\n")
+        await self._writer.drain()
+
+    async def _recv(self):
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return decode_message(line.strip())
+
+    async def inject(
+        self,
+        instance: int,
+        source: str,
+        time: float = 0.0,
+        choices: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        await self._send(
+            InjectEvent(
+                instance=instance,
+                source=source,
+                time=time,
+                choices=dict(choices or {}),
+            )
+        )
+
+    async def inject_batch(self, events: Sequence[InjectEvent]) -> None:
+        for lo in range(0, len(events), BATCH_CHUNK):
+            await self._send(
+                InjectBatch(events=tuple(events[lo : lo + BATCH_CHUNK]))
+            )
+
+    async def snapshot(self) -> SnapshotReply:
+        async with self._lock:
+            request_id = self._next_id
+            self._next_id += 1
+            await self._send(SnapshotRequest(request_id=request_id))
+            reply = await self._recv()
+        if not isinstance(reply, SnapshotReply):
+            raise ProtocolError(
+                f"expected snapshot_reply, got {reply.TYPE!r}"
+            )
+        return reply
+
+    async def reload(self, reset_stats: bool = True) -> Ack:
+        async with self._lock:
+            await self._send(Reload(reset_stats=reset_stats))
+            reply = await self._recv()
+        return reply
+
+    async def shutdown(self, drain: bool = True) -> Ack:
+        async with self._lock:
+            request_id = self._next_id
+            self._next_id += 1
+            await self._send(Shutdown(drain=drain, request_id=request_id))
+            reply = await self._recv()
+        return reply
+
+
+class LocalClient:
+    """In-process client: the same surface, straight to the supervisor."""
+
+    def __init__(self, supervisor: FleetSupervisor) -> None:
+        self.supervisor = supervisor
+
+    async def inject(
+        self,
+        instance: int,
+        source: str,
+        time: float = 0.0,
+        choices: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        await self.supervisor.inject(
+            InjectEvent(
+                instance=instance,
+                source=source,
+                time=time,
+                choices=dict(choices or {}),
+            )
+        )
+
+    async def inject_batch(self, events: Sequence[InjectEvent]) -> None:
+        await self.supervisor.inject(InjectBatch(events=tuple(events)))
+
+    async def snapshot(self) -> SnapshotReply:
+        return await self.supervisor.snapshot()
+
+    async def reload(self, reset_stats: bool = True) -> None:
+        await self.supervisor.reload(reset_stats=reset_stats)
+
+
+def events_to_injects(
+    streams: Sequence[Sequence["object"]],
+) -> List[InjectEvent]:
+    """Flatten per-instance Event streams into a time-ordered inject list.
+
+    Instance ``i``'s stream becomes injects with ``instance=i``; the
+    global order interleaves instances by event time (stable, so each
+    instance's own order is preserved) — the shape a real multiplexed
+    ingest feed would have.
+    """
+    flat: List[Tuple[float, int, InjectEvent]] = []
+    for instance, stream in enumerate(streams):
+        for event in stream:
+            flat.append(
+                (
+                    event.time,
+                    instance,
+                    InjectEvent(
+                        instance=instance,
+                        source=event.source,
+                        time=event.time,
+                        choices=dict(event.choices),
+                    ),
+                )
+            )
+    flat.sort(key=lambda item: item[0])
+    return [inject for _, _, inject in flat]

@@ -1,0 +1,221 @@
+"""Typed messages and the versioned JSON wire codec of the fleet service.
+
+Every interaction with the service — socket ingest, the in-process
+client, the parent↔worker pipes of the process-backed shards — speaks
+the same protocol: frozen dataclass messages serialized as one JSON
+object per line, each carrying the :data:`WIRE_SCHEMA` version tag and
+a ``type`` discriminator.  The codec is total in both directions
+(``decode_message(encode_message(m)) == m``) and *strict*: unknown
+schemas, unknown types, missing or extra fields all raise
+:class:`ProtocolError` rather than guessing, so protocol drift between
+endpoints fails loudly at the boundary.
+
+Request/response pairing uses the optional ``request_id`` carried by
+:class:`SnapshotRequest`/:class:`Shutdown` and echoed by the matching
+:class:`SnapshotReply`/:class:`Ack` — multiple requests can be in
+flight on one connection.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Tuple, Type, Union
+
+#: Version tag carried by every wire message.  Bump on any incompatible
+#: change to the message set or field layout.
+WIRE_SCHEMA = "repro-qss.service/1"
+
+
+class ProtocolError(ValueError):
+    """A wire line that does not decode to a known service message."""
+
+
+@dataclass(frozen=True)
+class InjectEvent:
+    """Dispatch one environment event to one fleet instance.
+
+    ``instance`` is the caller's stable instance key (the supervisor
+    routes it to a shard; unknown keys register fresh instances on
+    first use).  ``source``/``time``/``choices`` mirror
+    :class:`repro.runtime.events.Event`.
+    """
+
+    instance: int
+    source: str
+    time: float = 0.0
+    choices: Mapping[str, str] = field(default_factory=dict)
+
+    TYPE = "inject"
+
+
+@dataclass(frozen=True)
+class InjectBatch:
+    """Dispatch many events in one message (amortizes codec + routing)."""
+
+    events: Tuple[InjectEvent, ...]
+
+    TYPE = "inject_batch"
+
+
+@dataclass(frozen=True)
+class SnapshotRequest:
+    """Ask for aggregate + per-shard statistics (reply: :class:`SnapshotReply`)."""
+
+    request_id: int = 0
+
+    TYPE = "snapshot"
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard's live statistics, embedded in :class:`SnapshotReply`."""
+
+    shard: int
+    instances: int
+    events: int
+    cycles: int
+    queue_depth: int
+    budget_stops: int
+    throughput_eps: float
+    percentiles: Mapping[str, float] = field(default_factory=dict)
+
+    TYPE = "shard_stats"
+
+
+@dataclass(frozen=True)
+class SnapshotReply:
+    """Aggregate fleet statistics plus the per-shard breakdown."""
+
+    request_id: int
+    instances: int
+    events: int
+    cycles: int
+    budget_stops: int
+    shards: Tuple[ShardStats, ...] = ()
+
+    TYPE = "snapshot_reply"
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Stop the service; ``drain=True`` serves queued events first."""
+
+    drain: bool = True
+    request_id: int = 0
+
+    TYPE = "shutdown"
+
+
+@dataclass(frozen=True)
+class Reload:
+    """Reset every instance to the initial marking without restarting.
+
+    ``reset_stats=False`` keeps the accumulated accounting across the
+    reload (markings restart, counters continue).
+    """
+
+    reset_stats: bool = True
+
+    TYPE = "reload"
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Generic acknowledgement (shutdown confirmation, errors)."""
+
+    request_id: int = 0
+    ok: bool = True
+    error: str = ""
+
+    TYPE = "ack"
+
+
+Message = Union[
+    InjectEvent,
+    InjectBatch,
+    SnapshotRequest,
+    ShardStats,
+    SnapshotReply,
+    Shutdown,
+    Reload,
+    Ack,
+]
+
+MESSAGE_TYPES: Dict[str, Type[Any]] = {
+    cls.TYPE: cls
+    for cls in (
+        InjectEvent,
+        InjectBatch,
+        SnapshotRequest,
+        ShardStats,
+        SnapshotReply,
+        Shutdown,
+        Reload,
+        Ack,
+    )
+}
+
+
+def _to_payload(message: Message) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {}
+    for spec in fields(message):
+        value = getattr(message, spec.name)
+        if isinstance(value, tuple):
+            value = [_to_payload(item) if hasattr(item, "TYPE") else item for item in value]
+        elif isinstance(value, Mapping):
+            value = dict(value)
+        payload[spec.name] = value
+    return payload
+
+
+def encode_message(message: Message) -> str:
+    """Serialize one message to its wire line (no trailing newline)."""
+    payload = _to_payload(message)
+    payload["schema"] = WIRE_SCHEMA
+    payload["type"] = message.TYPE
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True)
+
+
+def _from_payload(cls: Type[Any], payload: Mapping[str, Any]) -> Any:
+    names = {spec.name for spec in fields(cls)}
+    extra = set(payload) - names
+    if extra:
+        raise ProtocolError(
+            f"unknown field(s) {sorted(extra)} for message type {cls.TYPE!r}"
+        )
+    kwargs = dict(payload)
+    try:
+        if cls is InjectBatch:
+            kwargs["events"] = tuple(
+                _from_payload(InjectEvent, item) for item in kwargs.get("events", ())
+            )
+        elif cls is SnapshotReply:
+            kwargs["shards"] = tuple(
+                _from_payload(ShardStats, item) for item in kwargs.get("shards", ())
+            )
+        return cls(**kwargs)
+    except TypeError as error:
+        raise ProtocolError(
+            f"bad payload for message type {cls.TYPE!r}: {error}"
+        ) from None
+
+
+def decode_message(line: Union[str, bytes]) -> Message:
+    """Parse one wire line back into its typed message (strict)."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"wire line is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("wire line must be a JSON object")
+    schema = payload.pop("schema", None)
+    if schema != WIRE_SCHEMA:
+        raise ProtocolError(
+            f"unsupported wire schema {schema!r} (expected {WIRE_SCHEMA!r})"
+        )
+    kind = payload.pop("type", None)
+    cls = MESSAGE_TYPES.get(kind)
+    if cls is None:
+        raise ProtocolError(f"unknown message type {kind!r}")
+    return _from_payload(cls, payload)

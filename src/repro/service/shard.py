@@ -1,0 +1,266 @@
+"""The shard actor: one always-on asyncio task around one FleetEngine.
+
+A shard owns a subset of the fleet's instances and serves their events
+from a **bounded inbox** (`asyncio.Queue(maxsize=inbox_limit)`):
+producers ``await put(...)`` and suspend while the shard is saturated,
+which is the service's backpressure — socket readers stop reading, TCP
+windows fill, and the client slows down instead of the server growing
+an unbounded buffer.  ``try_put`` is the non-blocking variant for
+callers that prefer an explicit overflow signal.
+
+The actor loop drains the inbox in batches (everything immediately
+available after the first blocking ``get``) and serves each batch
+through the vectorized kernel: injects are grouped by per-instance
+occurrence index — round *k* carries the *k*-th queued event of every
+instance in the batch — which preserves per-instance event order while
+dispatching whole rounds as single numpy operations.  Control messages
+(:class:`~repro.service.messages.SnapshotRequest`,
+:class:`~repro.service.messages.Reload`,
+:class:`~repro.service.messages.Shutdown`) ride the same inbox, so
+they observe every event enqueued before them.
+
+:class:`ShardCore` is the event-loop-free heart of the actor (instance
+registry + vectorized serving + migration); the ``multiprocessing``
+worker of :mod:`repro.service.supervisor` drives the same core
+synchronously from its pipe, so both shard backends serve events
+identically by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..runtime.events import Event
+from ..runtime.fleet import FleetEngine, FleetResult
+from .messages import (
+    InjectBatch,
+    InjectEvent,
+    Reload,
+    ShardStats,
+    Shutdown,
+    SnapshotRequest,
+)
+
+#: Default inbox capacity (messages, where one InjectBatch counts once).
+DEFAULT_INBOX_LIMIT = 1024
+
+_ControlItem = Tuple[Union[SnapshotRequest, Reload, Shutdown], "asyncio.Future"]
+_InboxItem = Union[InjectEvent, InjectBatch, _ControlItem]
+
+
+class ShardCore:
+    """Backend-independent shard state: instance registry over one kernel."""
+
+    def __init__(self, shard_id: int, engine: FleetEngine) -> None:
+        self.shard_id = shard_id
+        self.engine = engine
+        self._rows: Dict[int, int] = {}  # instance key -> engine row
+        self._keys: List[int] = []  # engine row -> instance key
+        self._started = time.monotonic()
+        self.events_served = 0
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve_injects(self, injects: Sequence[InjectEvent]) -> int:
+        """Serve a batch of injects, vectorized, in per-instance order."""
+        if not injects:
+            return 0
+        engine = self.engine
+        rows_of = self._rows
+        fresh = [m.instance for m in injects if m.instance not in rows_of]
+        if fresh:
+            # preserve first-seen order, drop duplicates within the batch
+            unique = list(dict.fromkeys(fresh))
+            new_rows = engine.add_instances(len(unique))
+            for key, row in zip(unique, new_rows.tolist()):
+                rows_of[key] = row
+                self._keys.append(key)
+        # round k = the k-th queued event of each instance in the batch:
+        # per-instance order is preserved, rounds dispatch vectorized
+        occurrence: Dict[int, int] = {}
+        rounds: List[Tuple[List[int], List[Event]]] = []
+        for m in injects:
+            k = occurrence.get(m.instance, 0)
+            occurrence[m.instance] = k + 1
+            if k == len(rounds):
+                rounds.append(([], []))
+            rows, events = rounds[k]
+            rows.append(rows_of[m.instance])
+            events.append(
+                Event(time=m.time, source=m.source, choices=m.choices)
+            )
+        for rows, events in rounds:
+            engine.dispatch(rows, events)
+        self.events_served += len(injects)
+        return len(injects)
+
+    def reload(self, reset_stats: bool = True) -> None:
+        self.engine.reset_state(reset_stats=reset_stats)
+
+    # ------------------------------------------------------------------
+    # Introspection and results
+    # ------------------------------------------------------------------
+    def stats(self, queue_depth: int = 0) -> ShardStats:
+        result = self.engine.result()
+        elapsed = time.monotonic() - self._started
+        return ShardStats(
+            shard=self.shard_id,
+            instances=self.engine.instances,
+            events=result.stats.events_processed,
+            cycles=result.stats.total_cycles,
+            queue_depth=queue_depth,
+            budget_stops=result.stats.budget_stops,
+            throughput_eps=(
+                self.events_served / elapsed if elapsed > 0 else 0.0
+            ),
+            percentiles=result.percentiles(),
+        )
+
+    def result(self) -> Tuple[List[int], FleetResult]:
+        """The shard's instance keys (row order) and its FleetResult."""
+        return list(self._keys), self.engine.result()
+
+    # ------------------------------------------------------------------
+    # Migration (supervisor-mediated work stealing)
+    # ------------------------------------------------------------------
+    @property
+    def instance_keys(self) -> List[int]:
+        return list(self._keys)
+
+    def export_instance(self, key: int) -> Tuple[List[int], int, int]:
+        """Remove ``key`` from this shard, returning its migratable state.
+
+        Only safe once no in-flight events target ``key`` (the
+        supervisor drains the inbox before migrating).
+        """
+        row = self._rows.pop(key)
+        state = self.engine.export_instance(row)
+        moved_from = self.engine.remove_instance(row)
+        moved_key = self._keys[moved_from]
+        self._keys[row] = moved_key
+        self._keys.pop()
+        if moved_key != key:
+            self._rows[moved_key] = row
+        return state
+
+    def import_instance(
+        self, key: int, state: Tuple[Sequence[int], int, int]
+    ) -> None:
+        """Adopt a migrated instance exported from another shard."""
+        if key in self._rows:
+            raise ValueError(
+                f"instance {key} already lives on shard {self.shard_id}"
+            )
+        row = self.engine.import_instance(state)
+        self._rows[key] = row
+        self._keys.append(key)
+
+
+class ShardActor:
+    """One shard of the fleet: a bounded inbox draining into one core."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        engine: FleetEngine,
+        inbox_limit: int = DEFAULT_INBOX_LIMIT,
+    ) -> None:
+        self.core = ShardCore(shard_id, engine)
+        self.shard_id = shard_id
+        self.inbox: "asyncio.Queue[_InboxItem]" = asyncio.Queue(
+            maxsize=inbox_limit
+        )
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    async def put(self, message: _InboxItem) -> None:
+        """Enqueue; suspends the caller while the inbox is full."""
+        await self.inbox.put(message)
+
+    def try_put(self, message: _InboxItem) -> bool:
+        """Non-blocking enqueue; ``False`` signals overflow (backpressure)."""
+        try:
+            self.inbox.put_nowait(message)
+        except asyncio.QueueFull:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # The actor loop
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        """Serve the inbox until a :class:`Shutdown` message arrives."""
+        while not self._stopped:
+            first = await self.inbox.get()
+            batch: List[_InboxItem] = [first]
+            while True:
+                try:
+                    batch.append(self.inbox.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            try:
+                self._serve_batch(batch)
+            finally:
+                for _ in batch:
+                    self.inbox.task_done()
+
+    def _serve_batch(self, batch: Sequence[_InboxItem]) -> None:
+        injects: List[InjectEvent] = []
+        controls: List[_ControlItem] = []
+        shutdown: Optional[_ControlItem] = None
+        for item in batch:
+            if isinstance(item, InjectEvent):
+                injects.append(item)
+            elif isinstance(item, InjectBatch):
+                injects.extend(item.events)
+            else:
+                message = item[0]
+                if isinstance(message, Shutdown):
+                    shutdown = item
+                    if not message.drain:
+                        injects = []
+                        break
+                else:
+                    controls.append(item)
+        self.core.serve_injects(injects)
+        for message, future in controls:
+            if isinstance(message, SnapshotRequest):
+                self._resolve(future, self.stats())
+            elif isinstance(message, Reload):
+                self.core.reload(reset_stats=message.reset_stats)
+                self._resolve(future, True)
+        if shutdown is not None:
+            self._stopped = True
+            self._resolve(shutdown[1], self.core.result())
+
+    @staticmethod
+    def _resolve(future: "asyncio.Future", value: object) -> None:
+        if not future.done():
+            future.set_result(value)
+
+    # ------------------------------------------------------------------
+    # Delegation
+    # ------------------------------------------------------------------
+    @property
+    def events_served(self) -> int:
+        return self.core.events_served
+
+    @property
+    def instance_keys(self) -> List[int]:
+        return self.core.instance_keys
+
+    def stats(self) -> ShardStats:
+        return self.core.stats(queue_depth=self.inbox.qsize())
+
+    def export_instance(self, key: int) -> Tuple[List[int], int, int]:
+        return self.core.export_instance(key)
+
+    def import_instance(
+        self, key: int, state: Tuple[Sequence[int], int, int]
+    ) -> None:
+        self.core.import_instance(key, state)

@@ -1,0 +1,522 @@
+"""The fleet supervisor: hash-sharded routing over always-on shard actors.
+
+The supervisor owns N shards — each a :class:`~repro.service.shard`
+actor around its own :class:`~repro.runtime.fleet.FleetEngine` — and
+routes every instance key to one shard with a deterministic
+multiplicative hash (plus an override map maintained by migration), so
+one instance's events always land on one kernel in order.  Two shard
+backends share the same :class:`~repro.service.shard.ShardCore`:
+
+``async``
+    Every shard is an asyncio task on the supervisor's event loop.
+    The default: in-process, zero serialization, supports work
+    stealing, and the backend the differential suite pins against the
+    one-shot batch path.
+
+``process``
+    Every shard is a ``multiprocessing`` worker process; requests
+    travel its pipe as wire-codec lines
+    (:mod:`repro.service.messages`), replies resolve FIFO futures.
+    Buys real parallelism on multi-core machines at serialization
+    cost.
+
+**Work stealing** (async backend): :meth:`FleetSupervisor.rebalance`
+— called periodically when ``rebalance_interval`` is set — compares
+shard inbox depths and migrates instances from the hottest shard to
+the coldest one.  Migration is supervisor-mediated and loses nothing:
+routing pauses under the supervisor lock, the hot inbox drains
+(``join()``), the instances' marking/cycle/event state moves via
+export/import, and the override map redirects future events.  Fleet
+totals still count every charge exactly once because aggregate
+accounting stays where it accrued while per-instance state travels.
+
+:meth:`FleetSupervisor.stop` with ``drain=True`` serves every queued
+event, then merges the per-shard results into one
+:class:`~repro.runtime.fleet.FleetResult` ordered by instance key —
+byte-identical to a one-shot :class:`~repro.runtime.fleet.FleetSimulator`
+run over the same streams (pinned by ``tests/test_service_differential.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..petrinet import PetriNet
+from ..petrinet.compiled import ENGINE_COMPILED, CompiledNet, compile_net
+from ..runtime.cost import CostModel
+from ..runtime.fleet import FleetEngine, FleetResult
+from ..runtime.reactive import ModuleAssignment, validate_budget_policy
+from ..runtime.rtos import ExecutionStats
+from .messages import (
+    Ack,
+    InjectBatch,
+    InjectEvent,
+    Reload,
+    ShardStats,
+    Shutdown,
+    SnapshotReply,
+    SnapshotRequest,
+    decode_message,
+    encode_message,
+)
+from .shard import DEFAULT_INBOX_LIMIT, ShardActor, ShardCore
+
+#: Supported shard backends.
+SERVICE_BACKENDS = ("async", "process")
+
+#: Knuth's multiplicative hash constant (2^32 / phi).
+_HASH_MULTIPLIER = 2_654_435_761
+
+
+def validate_backend(backend: str) -> str:
+    if backend not in SERVICE_BACKENDS:
+        raise ValueError(
+            f"unknown service backend {backend!r} "
+            f"(choose from {', '.join(SERVICE_BACKENDS)})"
+        )
+    return backend
+
+
+class FleetSupervisor:
+    """Routes instance keys over sharded fleet actors; merges their results."""
+
+    def __init__(
+        self,
+        net: Union[PetriNet, CompiledNet],
+        assignment: ModuleAssignment,
+        cost_model: Optional[CostModel] = None,
+        max_firings_per_event: int = 100_000,
+        on_budget: str = "error",
+        shards: int = 1,
+        backend: str = "async",
+        inbox_limit: int = DEFAULT_INBOX_LIMIT,
+        rebalance_interval: Optional[float] = None,
+        rebalance_threshold: int = 64,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        self.backend = validate_backend(backend)
+        if rebalance_interval is not None and self.backend != "async":
+            raise ValueError("work stealing requires the async backend")
+        self.net = net
+        self.assignment = assignment
+        self.cost = cost_model or CostModel()
+        self.max_firings_per_event = max_firings_per_event
+        self.on_budget = validate_budget_policy(on_budget)
+        self.shards = shards
+        self.inbox_limit = inbox_limit
+        self.rebalance_interval = rebalance_interval
+        self.rebalance_threshold = rebalance_threshold
+        self._route_override: Dict[int, int] = {}
+        self._route_lock: Optional[asyncio.Lock] = None
+        self._actors: List[ShardActor] = []
+        self._tasks: List["asyncio.Task"] = []
+        self._handles: List["_ProcessShardHandle"] = []
+        self._rebalance_task: Optional["asyncio.Task"] = None
+        self.migrations = 0
+        self._started_at = 0.0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_of(self, instance: int) -> int:
+        """Deterministic instance→shard routing (override map first)."""
+        override = self._route_override.get(instance)
+        if override is not None:
+            return override
+        return ((instance * _HASH_MULTIPLIER) & 0xFFFFFFFF) % self.shards
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._running:
+            raise RuntimeError("supervisor is already running")
+        self._route_lock = asyncio.Lock()
+        self._started_at = time.perf_counter()
+        if self.backend == "async":
+            compiled = (
+                self.net
+                if isinstance(self.net, CompiledNet)
+                else compile_net(self.net)
+            )
+            for shard_id in range(self.shards):
+                engine = FleetEngine(
+                    compiled,
+                    self.assignment,
+                    cost_model=self.cost,
+                    max_firings_per_event=self.max_firings_per_event,
+                    on_budget=self.on_budget,
+                )
+                actor = ShardActor(shard_id, engine, inbox_limit=self.inbox_limit)
+                self._actors.append(actor)
+                self._tasks.append(asyncio.create_task(actor.run()))
+            if self.rebalance_interval is not None:
+                self._rebalance_task = asyncio.create_task(
+                    self._rebalance_loop()
+                )
+        else:
+            from ..petrinet.serialization import net_to_json
+
+            named = (
+                self.net.decompile()
+                if isinstance(self.net, CompiledNet)
+                else self.net
+            )
+            net_json = net_to_json(named)
+            for shard_id in range(self.shards):
+                handle = _ProcessShardHandle(
+                    shard_id,
+                    net_json,
+                    dict(self.assignment.modules),
+                    self.cost,
+                    self.max_firings_per_event,
+                    self.on_budget,
+                )
+                await handle.start()
+                self._handles.append(handle)
+        self._running = True
+
+    async def stop(self, drain: bool = True) -> FleetResult:
+        """Stop every shard and merge their results by instance key."""
+        if not self._running:
+            raise RuntimeError("supervisor is not running")
+        if self._rebalance_task is not None:
+            self._rebalance_task.cancel()
+            try:
+                await self._rebalance_task
+            except asyncio.CancelledError:
+                pass
+        parts: List[Tuple[List[int], FleetResult]] = []
+        if self.backend == "async":
+            futures = []
+            for actor in self._actors:
+                future: "asyncio.Future" = asyncio.get_running_loop().create_future()
+                await actor.put((Shutdown(drain=drain), future))
+                futures.append(future)
+            parts = list(await asyncio.gather(*futures))
+            await asyncio.gather(*self._tasks)
+        else:
+            parts = list(
+                await asyncio.gather(
+                    *(handle.shutdown(drain) for handle in self._handles)
+                )
+            )
+            for handle in self._handles:
+                await handle.join()
+        self._running = False
+        elapsed = time.perf_counter() - self._started_at
+        return _merge_results(parts, elapsed)
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def inject(self, message: Union[InjectEvent, InjectBatch]) -> None:
+        """Route an inject to its shard(s); awaits under backpressure."""
+        lock = self._require_running()
+        async with lock:
+            if isinstance(message, InjectEvent):
+                await self._put(self.shard_of(message.instance), message)
+                return
+            by_shard: Dict[int, List[InjectEvent]] = {}
+            for event in message.events:
+                by_shard.setdefault(self.shard_of(event.instance), []).append(
+                    event
+                )
+            for shard_id, events in by_shard.items():
+                await self._put(shard_id, InjectBatch(events=tuple(events)))
+
+    async def snapshot(self) -> SnapshotReply:
+        """Aggregate + per-shard statistics (observes prior injects)."""
+        self._require_running()
+        if self.backend == "async":
+            loop = asyncio.get_running_loop()
+            futures = []
+            for actor in self._actors:
+                future: "asyncio.Future" = loop.create_future()
+                await actor.put((SnapshotRequest(), future))
+                futures.append(future)
+            stats: List[ShardStats] = list(await asyncio.gather(*futures))
+        else:
+            stats = list(
+                await asyncio.gather(
+                    *(handle.snapshot() for handle in self._handles)
+                )
+            )
+        return SnapshotReply(
+            request_id=0,
+            instances=sum(s.instances for s in stats),
+            events=sum(s.events for s in stats),
+            cycles=sum(s.cycles for s in stats),
+            budget_stops=sum(s.budget_stops for s in stats),
+            shards=tuple(stats),
+        )
+
+    async def reload(self, reset_stats: bool = True) -> None:
+        """Reset every shard's instances to the initial marking."""
+        self._require_running()
+        if self.backend == "async":
+            loop = asyncio.get_running_loop()
+            futures = []
+            for actor in self._actors:
+                future: "asyncio.Future" = loop.create_future()
+                await actor.put((Reload(reset_stats=reset_stats), future))
+                futures.append(future)
+            await asyncio.gather(*futures)
+        else:
+            await asyncio.gather(
+                *(
+                    handle.reload(reset_stats=reset_stats)
+                    for handle in self._handles
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Work stealing
+    # ------------------------------------------------------------------
+    async def rebalance(
+        self,
+        source: Optional[int] = None,
+        target: Optional[int] = None,
+        count: Optional[int] = None,
+    ) -> int:
+        """Migrate instances from the hottest shard to the coldest one.
+
+        Without arguments, picks the deepest/shallowest inboxes and acts
+        only when the depth gap exceeds ``rebalance_threshold``;
+        explicit ``source``/``target``/``count`` force a migration (the
+        deterministic path the tests drive).  Returns the number of
+        instances moved.
+        """
+        self._require_running()
+        if self.backend != "async":
+            raise RuntimeError("work stealing requires the async backend")
+        if self.shards < 2:
+            return 0
+        lock = self._route_lock
+        async with lock:
+            if source is None or target is None:
+                depths = [actor.inbox.qsize() for actor in self._actors]
+                source = int(np.argmax(depths))
+                target = int(np.argmin(depths))
+                if (
+                    source == target
+                    or depths[source] - depths[target]
+                    < self.rebalance_threshold
+                ):
+                    return 0
+            hot = self._actors[source]
+            cold = self._actors[target]
+            # no new events can route while we hold the lock; wait until
+            # the hot shard has served everything already queued so the
+            # exported state is complete
+            await hot.inbox.join()
+            keys = hot.instance_keys
+            if count is None:
+                count = max(1, len(keys) // 4)
+            moved = keys[-count:] if count else []
+            for key in moved:
+                cold.import_instance(key, hot.export_instance(key))
+                self._route_override[key] = target
+            self.migrations += len(moved)
+            return len(moved)
+
+    async def _rebalance_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.rebalance_interval)
+            await self.rebalance()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_running(self) -> asyncio.Lock:
+        if not self._running:
+            raise RuntimeError("supervisor is not running")
+        return self._route_lock
+
+    async def _put(
+        self, shard_id: int, message: Union[InjectEvent, InjectBatch]
+    ) -> None:
+        if self.backend == "async":
+            await self._actors[shard_id].put(message)
+        else:
+            await self._handles[shard_id].send(message)
+
+
+def _merge_results(
+    parts: Sequence[Tuple[List[int], FleetResult]], elapsed: float
+) -> FleetResult:
+    """Merge per-shard results into one fleet result ordered by key."""
+    aggregate = ExecutionStats()
+    keyed: List[Tuple[int, int, int]] = []
+    for keys, result in parts:
+        aggregate.merge(result.stats)
+        keyed.extend(
+            zip(
+                keys,
+                result.instance_cycles.tolist(),
+                result.instance_events.tolist(),
+            )
+        )
+    keyed.sort()
+    cycles = np.array([c for _, c, _ in keyed], dtype=np.int64)
+    events = np.array([e for _, _, e in keyed], dtype=np.int64)
+    return FleetResult(
+        stats=aggregate,
+        instance_cycles=cycles,
+        instance_events=events,
+        engine=ENGINE_COMPILED,
+        elapsed_seconds=elapsed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Process backend
+# ----------------------------------------------------------------------
+class _ProcessShardHandle:
+    """Parent-side endpoint of one worker-process shard.
+
+    Requests travel the pipe as wire-codec lines; replies resolve a
+    FIFO of pending futures (the pipe preserves order, so no request
+    ids are needed).  Blocking pipe operations run in worker threads
+    (``asyncio.to_thread``) so the event loop never stalls on a full
+    pipe buffer.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        net_json: str,
+        modules: Dict[str, str],
+        cost: CostModel,
+        max_firings: int,
+        on_budget: str,
+    ) -> None:
+        self.shard_id = shard_id
+        self._spec = (net_json, modules, cost, max_firings, on_budget)
+        self._process: Optional["object"] = None
+        self._conn = None
+        self._pending: Deque["asyncio.Future"] = deque()
+        self._send_lock: Optional[asyncio.Lock] = None
+        self._reader: Optional["asyncio.Task"] = None
+
+    async def start(self) -> None:
+        import multiprocessing
+
+        parent, child = multiprocessing.Pipe()
+        process = multiprocessing.Process(
+            target=_shard_worker,
+            args=(child, self.shard_id) + self._spec,
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        self._process = process
+        self._conn = parent
+        self._send_lock = asyncio.Lock()
+        self._reader = asyncio.create_task(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        while True:
+            try:
+                reply = await asyncio.to_thread(self._conn.recv)
+            except (EOFError, OSError):
+                break
+            if isinstance(reply, str):
+                reply = decode_message(reply)
+            if self._pending:
+                future = self._pending.popleft()
+                if not future.done():
+                    future.set_result(reply)
+            if isinstance(reply, tuple):  # the final (keys, FleetResult)
+                break
+
+    async def _request(self, message) -> "asyncio.Future":
+        future: "asyncio.Future" = asyncio.get_running_loop().create_future()
+        async with self._send_lock:
+            self._pending.append(future)
+            await asyncio.to_thread(self._conn.send, encode_message(message))
+        return future
+
+    async def send(self, message: Union[InjectEvent, InjectBatch]) -> None:
+        async with self._send_lock:
+            await asyncio.to_thread(self._conn.send, encode_message(message))
+
+    async def snapshot(self) -> ShardStats:
+        return await (await self._request(SnapshotRequest()))
+
+    async def reload(self, reset_stats: bool = True) -> None:
+        await (await self._request(Reload(reset_stats=reset_stats)))
+
+    async def shutdown(self, drain: bool) -> Tuple[List[int], FleetResult]:
+        return await (await self._request(Shutdown(drain=drain)))
+
+    async def join(self) -> None:
+        if self._reader is not None:
+            await self._reader
+        if self._process is not None:
+            await asyncio.to_thread(self._process.join, 10)
+        if self._conn is not None:
+            self._conn.close()
+
+
+def _shard_worker(
+    conn,
+    shard_id: int,
+    net_json: str,
+    modules: Dict[str, str],
+    cost: CostModel,
+    max_firings: int,
+    on_budget: str,
+) -> None:  # pragma: no cover - runs inside the worker process
+    """Synchronous shard loop: drain the pipe into a ShardCore."""
+    from ..petrinet.serialization import net_from_json
+
+    engine = FleetEngine(
+        net_from_json(net_json),
+        ModuleAssignment(modules=modules),
+        cost_model=cost,
+        max_firings_per_event=max_firings,
+        on_budget=on_budget,
+    )
+    core = ShardCore(shard_id, engine)
+    while True:
+        try:
+            messages = [decode_message(conn.recv())]
+        except EOFError:
+            break
+        while conn.poll():
+            messages.append(decode_message(conn.recv()))
+        injects: List[InjectEvent] = []
+        done = False
+        for message in messages:
+            if isinstance(message, InjectEvent):
+                injects.append(message)
+            elif isinstance(message, InjectBatch):
+                injects.extend(message.events)
+            elif isinstance(message, SnapshotRequest):
+                core.serve_injects(injects)
+                injects = []
+                conn.send(encode_message(core.stats(queue_depth=0)))
+            elif isinstance(message, Reload):
+                core.serve_injects(injects)
+                injects = []
+                core.reload(reset_stats=message.reset_stats)
+                conn.send(encode_message(Ack()))
+            elif isinstance(message, Shutdown):
+                if message.drain:
+                    core.serve_injects(injects)
+                injects = []
+                conn.send(core.result())
+                done = True
+                break
+        if done:
+            break
+        core.serve_injects(injects)
+    conn.close()

@@ -1,0 +1,94 @@
+"""Versioned JSON-lines telemetry for the running fleet service.
+
+``repro-qss serve --telemetry FILE`` appends one JSON object per line
+while the service runs: a ``shard`` record per shard per sampling tick
+(throughput, queue depth, budget stops, cycle percentiles) plus one
+``aggregate`` record per tick.  Every record carries the
+:data:`TELEMETRY_SCHEMA` tag so downstream consumers can detect layout
+changes; :func:`validate_telemetry_record` is the normative definition
+of the layout and is pinned by ``tests/test_service_layer.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Mapping, Optional
+
+#: Version tag carried by every telemetry record.
+TELEMETRY_SCHEMA = "repro-qss.telemetry/1"
+
+_COMMON_FIELDS = {
+    "schema": str,
+    "kind": str,
+    "elapsed_seconds": (int, float),
+    "instances": int,
+    "events": int,
+    "events_delta": int,
+    "throughput_eps": (int, float),
+    "queue_depth": int,
+    "budget_stops": int,
+    "cycle_percentiles": Mapping,
+}
+
+_KINDS = ("shard", "aggregate")
+
+
+def validate_telemetry_record(record: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``record`` is a valid telemetry line."""
+    if not isinstance(record, Mapping):
+        raise ValueError("telemetry record must be a JSON object")
+    schema = record.get("schema")
+    if schema != TELEMETRY_SCHEMA:
+        raise ValueError(
+            f"unsupported telemetry schema {schema!r} "
+            f"(expected {TELEMETRY_SCHEMA!r})"
+        )
+    kind = record.get("kind")
+    if kind not in _KINDS:
+        raise ValueError(f"telemetry kind must be one of {_KINDS}, got {kind!r}")
+    for name, types in _COMMON_FIELDS.items():
+        if name not in record:
+            raise ValueError(f"telemetry record is missing field {name!r}")
+        if not isinstance(record[name], types):  # type: ignore[arg-type]
+            raise ValueError(
+                f"telemetry field {name!r} has wrong type "
+                f"{type(record[name]).__name__}"
+            )
+        if isinstance(record[name], bool):
+            raise ValueError(f"telemetry field {name!r} has wrong type bool")
+    if kind == "shard":
+        shard = record.get("shard")
+        if not isinstance(shard, int) or isinstance(shard, bool) or shard < 0:
+            raise ValueError("shard telemetry needs a non-negative 'shard' id")
+    for key, value in record["cycle_percentiles"].items():
+        if not isinstance(key, str) or not isinstance(value, (int, float)):
+            raise ValueError("cycle_percentiles must map strings to numbers")
+
+
+class TelemetryWriter:
+    """Append validated telemetry records to a JSON-lines file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: Optional[IO[str]] = open(path, "a", encoding="utf-8")
+        self.records_written = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        record.setdefault("schema", TELEMETRY_SCHEMA)
+        validate_telemetry_record(record)
+        if self._fh is None:
+            raise ValueError("telemetry writer is closed")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

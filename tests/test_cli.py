@@ -156,6 +156,151 @@ class TestServe:
         assert "queue traffic  : 0" in out
 
 
+class TestServeService:
+    """The always-on service modes of `repro-qss serve`."""
+
+    def test_service_mode_matches_batch_mode(self, capsys):
+        args = ["serve", "--instances", "6", "--events", "3", "--seed", "4"]
+        assert main(args) == 0
+        batch_out = capsys.readouterr().out
+        assert main(args + ["--shards", "2"]) == 0
+        service_out = capsys.readouterr().out
+        pick = lambda text: [
+            line
+            for line in text.splitlines()
+            if line.startswith(
+                ("total cycles", "events processed", "per-instance")
+            )
+        ]
+        assert pick(batch_out) == pick(service_out)
+        assert "2 shard(s), async backend" in service_out
+
+    def test_service_process_backend(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--instances",
+                    "4",
+                    "--events",
+                    "2",
+                    "--shards",
+                    "2",
+                    "--backend",
+                    "process",
+                ]
+            )
+            == 0
+        )
+        assert "process backend" in capsys.readouterr().out
+
+    def test_service_telemetry_file(self, tmp_path, capsys):
+        from repro.service import validate_telemetry_record
+
+        telemetry = tmp_path / "telemetry.jsonl"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--instances",
+                    "4",
+                    "--events",
+                    "2",
+                    "--shards",
+                    "2",
+                    "--telemetry",
+                    str(telemetry),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        lines = telemetry.read_text().splitlines()
+        assert lines  # at least the final sample
+        kinds = set()
+        for line in lines:
+            record = json.loads(line)
+            validate_telemetry_record(record)
+            kinds.add(record["kind"])
+        assert kinds == {"shard", "aggregate"}
+
+    def test_corpus_family_workload(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--instances",
+                    "5",
+                    "--events",
+                    "4",
+                    "--family",
+                    "pipeline",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fleet of 5 instance(s)" in out
+        assert "single partition" in out
+
+    def test_corpus_family_with_parameter_override(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--instances",
+                    "3",
+                    "--events",
+                    "2",
+                    "--family",
+                    "choice_fan:branches=4",
+                ]
+            )
+            == 0
+        )
+        assert "fleet of 3 instance(s)" in capsys.readouterr().out
+
+
+class TestServeValidation:
+    """Up-front argparse validation of serve flag combinations (exit 2)."""
+
+    @pytest.mark.parametrize(
+        "args, fragment",
+        [
+            (["--instances", "0"], "--instances: must be positive"),
+            (["--instances", "-3"], "--instances: must be positive"),
+            (["--events", "0"], "--events: must be positive"),
+            (["--workers", "0"], "--workers: must be positive"),
+            (["--shards", "0"], "--shards: must be positive"),
+            (["--workers", "2", "--shards", "2"], "use --shards"),
+            (["--duration", "5"], "only meaningful with --listen"),
+            (
+                ["--listen", "127.0.0.1:0", "--duration", "0"],
+                "--duration: must be positive",
+            ),
+            (["--listen", "localhost"], "expected HOST:PORT"),
+            (["--listen", "localhost:notaport"], "bad port"),
+            (["--shards", "2", "--engine", "legacy"], "compiled kernel"),
+            (["--family", "warp_drive"], "unknown family"),
+            (
+                ["--family", "pipeline", "--partition", "modules"],
+                "specific to the ATM server",
+            ),
+            (["--family", "atm:cells=3"], "takes no"),
+            (
+                ["--family", "choice_fan:bogus=1"],
+                "unknown parameter",
+            ),
+            (["--family", "choice_fan:branches"], "expected key=value"),
+        ],
+    )
+    def test_bad_combinations_exit_2(self, args, fragment, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve"] + args)
+        assert excinfo.value.code == 2
+        assert fragment in capsys.readouterr().err
+
+
 class TestCorpus:
     def test_small_parallel_corpus_writes_valid_json(self, tmp_path, capsys):
         json_path = tmp_path / "corpus.json"

@@ -1,0 +1,474 @@
+"""Unit coverage of the service layer: codec, telemetry, actors, routing.
+
+Complements `tests/test_service_differential.py` (which pins result
+equality across serving paths) with the layer-local behaviour: the
+wire codec is total and strict, telemetry records validate against
+their versioned schema, shard inboxes really bound memory and exert
+backpressure, supervisor routing is deterministic and respects the
+migration override map, and the ingest server answers malformed lines
+without dying.  Also carries the satellite pins for
+`FleetResult.percentile`/`percentiles` edge cases and cross-process
+`synthetic_streams` determinism.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.apps.atm import MODULE_PARTITION, build_atm_server_net, make_fleet_testbench
+from repro.runtime import FleetEngine, ModuleAssignment
+from repro.runtime.fleet import FleetResult
+from repro.runtime.rtos import ExecutionStats
+from repro.service import (
+    TELEMETRY_SCHEMA,
+    WIRE_SCHEMA,
+    Ack,
+    FleetSupervisor,
+    IngestServer,
+    InjectBatch,
+    InjectEvent,
+    ProtocolError,
+    Reload,
+    ServiceClient,
+    ShardActor,
+    ShardStats,
+    Shutdown,
+    SnapshotReply,
+    SnapshotRequest,
+    TelemetryWriter,
+    decode_message,
+    encode_message,
+    events_to_injects,
+    validate_backend,
+    validate_telemetry_record,
+)
+
+ATM = build_atm_server_net()
+ASSIGNMENT = ModuleAssignment.from_groups(MODULE_PARTITION)
+
+
+class TestWireCodec:
+    MESSAGES = [
+        InjectEvent(instance=7, source="t_cell", time=1.5, choices={"p": "t"}),
+        InjectBatch(
+            events=(
+                InjectEvent(instance=0, source="t_tick"),
+                InjectEvent(instance=1, source="t_cell", choices={"a": "b"}),
+            )
+        ),
+        SnapshotRequest(request_id=3),
+        ShardStats(
+            shard=2,
+            instances=10,
+            events=400,
+            cycles=12345,
+            queue_depth=7,
+            budget_stops=1,
+            throughput_eps=123.5,
+            percentiles={"p50": 10.0, "p99": 20.0},
+        ),
+        SnapshotReply(
+            request_id=3,
+            instances=10,
+            events=400,
+            cycles=12345,
+            budget_stops=1,
+            shards=(
+                ShardStats(
+                    shard=0,
+                    instances=10,
+                    events=400,
+                    cycles=12345,
+                    queue_depth=0,
+                    budget_stops=1,
+                    throughput_eps=9.0,
+                ),
+            ),
+        ),
+        Shutdown(drain=False, request_id=9),
+        Reload(reset_stats=False),
+        Ack(request_id=4, ok=False, error="boom"),
+    ]
+
+    @pytest.mark.parametrize("message", MESSAGES, ids=lambda m: m.TYPE)
+    def test_round_trip(self, message):
+        line = encode_message(message)
+        assert json.loads(line)["schema"] == WIRE_SCHEMA
+        assert decode_message(line) == message
+        assert decode_message(line.encode()) == message
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_message("{nope")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_message("[1,2]")
+
+    def test_rejects_wrong_schema(self):
+        line = json.dumps({"schema": "repro-qss.service/99", "type": "inject"})
+        with pytest.raises(ProtocolError, match="unsupported wire schema"):
+            decode_message(line)
+
+    def test_rejects_unknown_type(self):
+        line = json.dumps({"schema": WIRE_SCHEMA, "type": "teleport"})
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode_message(line)
+
+    def test_rejects_unknown_field(self):
+        payload = json.loads(encode_message(SnapshotRequest()))
+        payload["extra"] = 1
+        with pytest.raises(ProtocolError, match="unknown field"):
+            decode_message(json.dumps(payload))
+
+    def test_rejects_missing_required_field(self):
+        line = json.dumps({"schema": WIRE_SCHEMA, "type": "inject"})
+        with pytest.raises(ProtocolError, match="bad payload"):
+            decode_message(line)
+
+
+class TestTelemetrySchema:
+    def good_record(self, kind="shard"):
+        record = {
+            "schema": TELEMETRY_SCHEMA,
+            "kind": kind,
+            "elapsed_seconds": 1.25,
+            "instances": 10,
+            "events": 500,
+            "events_delta": 100,
+            "throughput_eps": 400.0,
+            "queue_depth": 3,
+            "budget_stops": 0,
+            "cycle_percentiles": {"p50": 100.0, "p99": 200.0},
+        }
+        if kind == "shard":
+            record["shard"] = 1
+        return record
+
+    @pytest.mark.parametrize("kind", ["shard", "aggregate"])
+    def test_valid_records_pass(self, kind):
+        validate_telemetry_record(self.good_record(kind))
+
+    def test_rejects_wrong_schema(self):
+        record = self.good_record()
+        record["schema"] = "repro-qss.telemetry/0"
+        with pytest.raises(ValueError, match="unsupported telemetry schema"):
+            validate_telemetry_record(record)
+
+    def test_rejects_unknown_kind(self):
+        record = self.good_record()
+        record["kind"] = "galaxy"
+        with pytest.raises(ValueError, match="kind"):
+            validate_telemetry_record(record)
+
+    @pytest.mark.parametrize(
+        "missing",
+        ["elapsed_seconds", "events", "queue_depth", "cycle_percentiles"],
+    )
+    def test_rejects_missing_field(self, missing):
+        record = self.good_record()
+        del record[missing]
+        with pytest.raises(ValueError, match=missing):
+            validate_telemetry_record(record)
+
+    def test_rejects_wrong_type(self):
+        record = self.good_record()
+        record["events"] = "many"
+        with pytest.raises(ValueError, match="wrong type"):
+            validate_telemetry_record(record)
+
+    def test_rejects_bool_counter(self):
+        record = self.good_record()
+        record["queue_depth"] = True
+        with pytest.raises(ValueError, match="bool"):
+            validate_telemetry_record(record)
+
+    def test_shard_record_needs_shard_id(self):
+        record = self.good_record()
+        del record["shard"]
+        with pytest.raises(ValueError, match="shard"):
+            validate_telemetry_record(record)
+
+    def test_writer_appends_valid_json_lines(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetryWriter(str(path)) as writer:
+            writer.emit(self.good_record("shard"))
+            writer.emit(self.good_record("aggregate"))
+            assert writer.records_written == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            validate_telemetry_record(json.loads(line))
+
+    def test_writer_rejects_invalid_record(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetryWriter(str(path)) as writer:
+            with pytest.raises(ValueError):
+                writer.emit({"schema": TELEMETRY_SCHEMA, "kind": "nope"})
+        assert path.read_text() == ""
+
+
+class TestShardBackpressure:
+    def test_try_put_reports_overflow(self):
+        async def go():
+            engine = FleetEngine(ATM, ASSIGNMENT)
+            actor = ShardActor(0, engine, inbox_limit=2)
+            event = InjectEvent(instance=0, source="t_tick")
+            assert actor.try_put(event)
+            assert actor.try_put(event)
+            assert not actor.try_put(event)  # bounded: third enqueue refused
+
+        asyncio.run(go())
+
+    def test_put_suspends_until_the_actor_drains(self):
+        async def go():
+            engine = FleetEngine(ATM, ASSIGNMENT)
+            actor = ShardActor(0, engine, inbox_limit=1)
+            event = InjectEvent(instance=0, source="t_tick")
+            await actor.put(event)
+            blocked = asyncio.create_task(actor.put(event))
+            await asyncio.sleep(0.01)
+            assert not blocked.done()  # backpressure: producer is parked
+            runner = asyncio.create_task(actor.run())
+            await asyncio.wait_for(blocked, timeout=2)
+            future = asyncio.get_running_loop().create_future()
+            await actor.put((Shutdown(drain=True), future))
+            keys, result = await asyncio.wait_for(future, timeout=2)
+            await runner
+            assert keys == [0]
+            assert result.stats.events_processed == 2
+
+        asyncio.run(go())
+
+
+class TestSupervisorRouting:
+    def test_backend_validation(self):
+        assert validate_backend("async") == "async"
+        with pytest.raises(ValueError, match="unknown service backend"):
+            validate_backend("threads")
+        with pytest.raises(ValueError, match="shards must be positive"):
+            FleetSupervisor(ATM, ASSIGNMENT, shards=0)
+        with pytest.raises(ValueError, match="async backend"):
+            FleetSupervisor(
+                ATM, ASSIGNMENT, backend="process", rebalance_interval=1.0
+            )
+
+    def test_routing_is_deterministic_and_total(self):
+        supervisor = FleetSupervisor(ATM, ASSIGNMENT, shards=4)
+        shards = [supervisor.shard_of(i) for i in range(1000)]
+        assert shards == [supervisor.shard_of(i) for i in range(1000)]
+        assert set(shards) == {0, 1, 2, 3}  # every shard gets work
+
+    def test_rebalance_updates_routing_override(self):
+        async def go():
+            supervisor = FleetSupervisor(ATM, ASSIGNMENT, shards=2)
+            await supervisor.start()
+            for i in range(8):
+                await supervisor.inject(
+                    InjectEvent(instance=i, source="t_tick")
+                )
+            victims = [
+                i for i in range(8) if supervisor.shard_of(i) == 0
+            ]
+            moved = await supervisor.rebalance(source=0, target=1, count=2)
+            assert moved == 2
+            assert supervisor.migrations == 2
+            stolen = [
+                i for i in victims if supervisor.shard_of(i) == 1
+            ]
+            assert len(stolen) == 2  # override map redirects future events
+            await supervisor.stop()
+
+        asyncio.run(go())
+
+    def test_auto_rebalance_noop_below_threshold(self):
+        async def go():
+            supervisor = FleetSupervisor(
+                ATM, ASSIGNMENT, shards=2, rebalance_threshold=1000
+            )
+            await supervisor.start()
+            await supervisor.inject(InjectEvent(instance=0, source="t_tick"))
+            assert await supervisor.rebalance() == 0
+            await supervisor.stop()
+
+        asyncio.run(go())
+
+    def test_reload_resets_markings_and_stats(self):
+        async def go():
+            supervisor = FleetSupervisor(ATM, ASSIGNMENT, shards=2)
+            await supervisor.start()
+            for i in range(4):
+                await supervisor.inject(
+                    InjectEvent(instance=i, source="t_tick")
+                )
+            before = await supervisor.snapshot()
+            assert before.events == 4
+            await supervisor.reload()
+            after = await supervisor.snapshot()
+            assert after.events == 0
+            assert after.instances == 4  # instances survive the reload
+            result = await supervisor.stop()
+            assert result.stats.events_processed == 0
+            return result
+
+        asyncio.run(go())
+
+
+class TestIngestServer:
+    def test_malformed_line_gets_error_ack_and_connection_survives(self):
+        async def go():
+            supervisor = FleetSupervisor(ATM, ASSIGNMENT, shards=1)
+            await supervisor.start()
+            server = IngestServer(supervisor, port=0)
+            host, port = await server.start()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            reply = decode_message((await reader.readline()).strip())
+            assert isinstance(reply, Ack) and not reply.ok
+            assert "JSON" in reply.error
+            # the same connection still serves real requests
+            writer.write(
+                encode_message(SnapshotRequest(request_id=5)).encode() + b"\n"
+            )
+            await writer.drain()
+            reply = decode_message((await reader.readline()).strip())
+            assert isinstance(reply, SnapshotReply)
+            assert reply.request_id == 5
+            writer.close()
+            await writer.wait_closed()
+            await server.stop()
+            await supervisor.stop()
+
+        asyncio.run(go())
+
+    def test_large_inject_batch_crosses_the_wire(self):
+        # regression: a big InjectBatch is one JSON line, far beyond
+        # asyncio's 64 KiB default stream limit — the server reads it
+        # under the raised STREAM_LIMIT and the client splits batches
+        # larger than BATCH_CHUNK events across lines
+        from repro.service.ingest import BATCH_CHUNK
+
+        injects = events_to_injects(
+            make_fleet_testbench(200, cells=10, seed=3)
+        )
+        assert len(injects) > BATCH_CHUNK  # exercises the client split
+        one_line = encode_message(
+            InjectBatch(events=tuple(injects[:BATCH_CHUNK]))
+        )
+        assert len(one_line) > 64 * 1024  # exercises the server limit
+
+        async def go():
+            supervisor = FleetSupervisor(ATM, ASSIGNMENT, shards=2)
+            await supervisor.start()
+            server = IngestServer(supervisor, port=0)
+            host, port = await server.start()
+            client = await ServiceClient.connect(host, port)
+            await client.inject_batch(injects)
+            snapshot = await client.snapshot()
+            assert snapshot.events == len(injects)
+            await client.close()
+            await server.stop()
+            await supervisor.stop()
+
+        asyncio.run(go())
+
+
+class TestFleetResultEdgeCases:
+    """Satellite pin: percentile semantics at the edges."""
+
+    @staticmethod
+    def result(cycles):
+        values = np.array(cycles, dtype=np.int64)
+        return FleetResult(
+            stats=ExecutionStats(),
+            instance_cycles=values,
+            instance_events=np.zeros(len(values), dtype=np.int64),
+            engine="compiled",
+        )
+
+    def test_empty_fleet_percentiles_are_zero(self):
+        empty = self.result([])
+        assert empty.instances == 0
+        assert empty.percentile(50) == 0.0
+        assert empty.percentiles() == {
+            "p50": 0.0,
+            "p90": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }
+        assert empty.throughput_eps == 0.0
+
+    def test_q0_and_q100_are_min_and_max(self):
+        spread = self.result([10, 20, 30, 40])
+        assert spread.percentile(0) == 10.0
+        assert spread.percentile(100) == 40.0
+
+    def test_single_instance_every_percentile_is_its_value(self):
+        single = self.result([1234])
+        for q in (0, 25, 50, 75, 90, 99, 100):
+            assert single.percentile(q) == 1234.0
+        assert single.percentiles((0, 100)) == {"p0": 1234.0, "p100": 1234.0}
+
+    def test_custom_quantile_labels(self):
+        spread = self.result([10, 20, 30, 40])
+        assert set(spread.percentiles((50, 99.9))) == {"p50", "p99.9"}
+
+
+_STREAM_DIGEST_SCRIPT = """
+import hashlib, sys
+sys.path.insert(0, {src!r})
+from repro.petrinet.corpus import CORPUS_FAMILIES
+from repro.runtime import synthetic_streams
+family = CORPUS_FAMILIES["pipeline"]
+net = family.build(3, family.spec(3).param_dict)
+streams = synthetic_streams(net, 7, 11, seed=42)
+digest = hashlib.sha256(
+    repr(
+        [
+            [(e.time, e.source, sorted(e.choices.items())) for e in stream]
+            for stream in streams
+        ]
+    ).encode()
+).hexdigest()
+print(digest)
+"""
+
+
+class TestSyntheticStreamDeterminism:
+    """Satellite pin: fixed seed => identical streams across processes."""
+
+    def test_streams_identical_across_processes(self):
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        script = _STREAM_DIGEST_SCRIPT.format(src=os.path.abspath(src))
+        digests = set()
+        for hash_seed in ("0", "1", "31337"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            output = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            ).stdout.strip()
+            digests.add(output)
+        assert len(digests) == 1, (
+            "synthetic_streams must be reproducible across processes "
+            f"regardless of hash randomization; saw {digests}"
+        )
+
+    def test_streams_identical_within_process(self):
+        from repro.runtime import synthetic_streams
+
+        first = synthetic_streams(ATM, 5, 9, seed=8)
+        second = synthetic_streams(ATM, 5, 9, seed=8)
+        assert first == second
+        assert synthetic_streams(ATM, 5, 9, seed=9) != first
