@@ -1,1 +1,12 @@
-"""Application case studies built on the public API (currently the ATM server)."""
+"""Application case studies built on the public API.
+
+Three reactive systems from the paper's embedded domain, each with an
+FCPN model, a module partition and reproducible workloads:
+
+* :mod:`repro.apps.atm` — the ATM server of Section 5 (irregular cell
+  arrivals + periodic cell slots);
+* :mod:`repro.apps.router` — a packet-router line card (bursty frame
+  trains + periodic transmit slots);
+* :mod:`repro.apps.heating` — a heating-control plant (periodic sensor
+  samples + diurnal setpoint requests).
+"""

@@ -22,7 +22,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from ...runtime.events import (
     ChoiceSampler,
     Event,
-    irregular_events,
+    arrival_events,
     merge_streams,
     periodic_events,
     with_choices,
@@ -48,6 +48,10 @@ class AtmWorkload:
         Mean inter-arrival time of cells, in abstract time units.
     tick_period:
         Period of the cell-slot Tick.
+    arrival:
+        Arrival process of the cells (``"exponential"`` by default — the
+        paper's memoryless testbench — or any of
+        :data:`repro.runtime.events.ARRIVAL_PROCESSES`).
     seed:
         Seed for both the arrival process and the choice resolutions.
     probabilities:
@@ -58,6 +62,7 @@ class AtmWorkload:
     cells: int = 50
     cell_mean_interval: float = 2.5
     tick_period: float = 2.0
+    arrival: str = "exponential"
     seed: int = 2026
     probabilities: Optional[Mapping[str, Mapping[str, float]]] = None
 
@@ -72,7 +77,8 @@ class AtmWorkload:
                 TICK_SOURCE: list(TICK_CHOICES),
             },
         )
-        cell_stream = irregular_events(
+        cell_stream = arrival_events(
+            self.arrival,
             CELL_SOURCE,
             mean_interval=self.cell_mean_interval,
             count=self.cells,
@@ -97,9 +103,11 @@ class AtmWorkload:
         }
 
 
-def make_testbench(cells: int = 50, seed: int = 2026) -> List[Event]:
+def make_testbench(
+    cells: int = 50, seed: int = 2026, arrival: str = "exponential"
+) -> List[Event]:
     """The Table I testbench: ``cells`` ATM cells plus the concurrent Ticks."""
-    return AtmWorkload(cells=cells, seed=seed).events()
+    return AtmWorkload(cells=cells, seed=seed, arrival=arrival).events()
 
 
 @dataclass
@@ -122,6 +130,7 @@ class AtmFleetWorkload:
     cells: int = 50
     cell_mean_interval: float = 2.5
     tick_period: float = 2.0
+    arrival: str = "exponential"
     seed: int = 2026
     probabilities: Optional[Mapping[str, Mapping[str, float]]] = None
 
@@ -135,6 +144,7 @@ class AtmFleetWorkload:
                 cells=self.cells,
                 cell_mean_interval=self.cell_mean_interval,
                 tick_period=self.tick_period,
+                arrival=self.arrival,
                 seed=self.instance_seed(i),
                 probabilities=self.probabilities,
             ).events()
@@ -143,7 +153,9 @@ class AtmFleetWorkload:
 
 
 def make_fleet_testbench(
-    instances: int, cells: int = 50, seed: int = 2026
+    instances: int, cells: int = 50, seed: int = 2026, arrival: str = "exponential"
 ) -> List[List[Event]]:
     """Per-instance testbenches for an ``instances``-strong ATM server fleet."""
-    return AtmFleetWorkload(instances=instances, cells=cells, seed=seed).streams()
+    return AtmFleetWorkload(
+        instances=instances, cells=cells, seed=seed, arrival=arrival
+    ).streams()

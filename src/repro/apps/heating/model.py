@@ -1,0 +1,187 @@
+"""FCPN model of a heating-control plant.
+
+A third case study from the paper's embedded-control domain: the
+controller of a hydronic heating plant.  Two independent-rate
+environment inputs drive it — *Sample*, the periodic temperature
+reading delivered by the sensor loop, and *Setpoint*, the irregular
+(diurnal, in practice: people adjust thermostats in the morning and
+evening) operator request to change the target temperature.  The
+data-dependent choices resolve on sensor values and request contents:
+
+* C1 ``p_band_state``: reading below / within / above the comfort band
+  (a three-way free choice);
+* C2 ``p_boost_state``: an under-temperature reading heats normally or
+  engages the boost stage;
+* C3 ``p_valid_state``: a setpoint request validates or is rejected;
+* C4 ``p_gain_state``: an accepted setpoint recomputes controller gains
+  with the quick incremental update or the full schedule.
+
+Every event quiesces, the net is free choice, bounded and
+quasi-statically schedulable, so the whole pipeline (properties, QSS
+synthesis, codegen, serving) applies unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...petrinet import NetBuilder, PetriNet
+
+#: The two independent-rate environment inputs.
+SAMPLE_SOURCE = "t_sample"
+SETPOINT_SOURCE = "t_setpoint"
+
+#: Choice places resolved while processing a Sample event.
+SAMPLE_CHOICES = (
+    "p_band_state",   # C1: below / within / above the comfort band
+    "p_boost_state",  # C2: normal heat or boost stage
+)
+
+#: Choice places resolved while processing a Setpoint event.
+SETPOINT_CHOICES = (
+    "p_valid_state",  # C3: request valid / rejected
+    "p_gain_state",   # C4: quick or full gain recomputation
+)
+
+#: All 4 non-deterministic choices of the model.
+HEATING_CHOICE_PLACES = SAMPLE_CHOICES + SETPOINT_CHOICES
+
+#: Functional module of every transition; the ``modules`` partition of
+#: ``repro-qss serve --family heating``.
+MODULE_PARTITION: Dict[str, List[str]] = {
+    "sensor": [
+        "t_sample",
+        "t_filter_reading",
+    ],
+    "controller": [
+        "t_band_low",
+        "t_band_ok",
+        "t_band_high",
+        "t_hold_state",
+        "t_heat_normal",
+        "t_heat_boost",
+        "t_valve_close",
+        "t_accept_setpoint",
+        "t_gain_quick",
+        "t_gain_full",
+        "t_commit_params",
+    ],
+    "actuator": [
+        "t_drive_valve",
+        "t_ack_actuation",
+    ],
+    "ui": [
+        "t_setpoint",
+        "t_validate_request",
+        "t_reject_setpoint",
+        "t_notify_ui",
+        "t_log_sample",
+    ],
+}
+
+#: Abstract execution cost per transition; the control-law computations
+#: (filtering, gain recomputation) are the heavy steps.
+_TRANSITION_COSTS: Dict[str, int] = {
+    "t_sample": 1,
+    "t_filter_reading": 4,
+    "t_band_low": 1,
+    "t_band_ok": 1,
+    "t_band_high": 1,
+    "t_hold_state": 1,
+    "t_heat_normal": 2,
+    "t_heat_boost": 3,
+    "t_valve_close": 2,
+    "t_drive_valve": 3,
+    "t_ack_actuation": 1,
+    "t_log_sample": 1,
+    "t_setpoint": 1,
+    "t_validate_request": 3,
+    "t_reject_setpoint": 1,
+    "t_notify_ui": 2,
+    "t_accept_setpoint": 2,
+    "t_gain_quick": 2,
+    "t_gain_full": 6,
+    "t_commit_params": 1,
+}
+
+
+def build_heating_net() -> PetriNet:
+    """Build the heating-plant FCPN (20 transitions, 4 free choices)."""
+    b = NetBuilder("heating_plant")
+
+    def t(name: str) -> str:
+        b.transition(name, cost=_TRANSITION_COSTS.get(name, 1))
+        return name
+
+    # ------------------------------------------------------------------
+    # Sample path: filter -> band decision -> actuation -> log
+    # ------------------------------------------------------------------
+    b.source(SAMPLE_SOURCE, label="Temperature sample",
+             cost=_TRANSITION_COSTS["t_sample"])
+    b.arc(SAMPLE_SOURCE, "p_reading_raw")
+    b.arc("p_reading_raw", t("t_filter_reading"))
+    b.arc("t_filter_reading", "p_band_state")
+    # the raw reading travels in parallel for the log entry
+    b.arc("t_filter_reading", "p_sample_meta")
+    # C1: three-way comfort-band decision
+    b.arc("p_band_state", t("t_band_low"))
+    b.arc("p_band_state", t("t_band_ok"))
+    b.arc("p_band_state", t("t_band_high"))
+    # within band: hold the current actuation
+    b.arc("t_band_ok", "p_hold")
+    b.arc("p_hold", t("t_hold_state"))
+    b.arc("t_hold_state", "p_sample_done")
+    # below band: heat, normally or with the boost stage
+    b.arc("t_band_low", "p_boost_state")
+    # C2: boost decision
+    b.arc("p_boost_state", t("t_heat_normal"))
+    b.arc("p_boost_state", t("t_heat_boost"))
+    b.arc("t_heat_normal", "p_valve_cmd")
+    b.arc("t_heat_boost", "p_valve_cmd")
+    # above band: close the valve
+    b.arc("t_band_high", "p_close_req")
+    b.arc("p_close_req", t("t_valve_close"))
+    b.arc("t_valve_close", "p_valve_cmd")
+    # actuation: drive the valve, acknowledge
+    b.arc("p_valve_cmd", t("t_drive_valve"))
+    b.arc("t_drive_valve", "p_driven")
+    b.arc("p_driven", t("t_ack_actuation"))
+    b.arc("t_ack_actuation", "p_sample_done")
+    # the log entry joins the completion of every branch
+    b.arc("p_sample_done", t("t_log_sample"))
+    b.arc("p_sample_meta", "t_log_sample")
+
+    # ------------------------------------------------------------------
+    # Setpoint path: validate -> accept/reject -> gain recomputation
+    # ------------------------------------------------------------------
+    b.source(SETPOINT_SOURCE, label="Setpoint request",
+             cost=_TRANSITION_COSTS["t_setpoint"])
+    b.arc(SETPOINT_SOURCE, "p_request_raw")
+    b.arc("p_request_raw", t("t_validate_request"))
+    b.arc("t_validate_request", "p_valid_state")
+    # C3: validation verdict
+    b.arc("p_valid_state", t("t_reject_setpoint"))
+    b.arc("p_valid_state", t("t_accept_setpoint"))
+    b.arc("t_reject_setpoint", "p_rejected")
+    b.arc("p_rejected", t("t_notify_ui"))
+    b.arc("t_accept_setpoint", "p_gain_state")
+    # C4: gain recomputation strategy
+    b.arc("p_gain_state", t("t_gain_quick"))
+    b.arc("p_gain_state", t("t_gain_full"))
+    b.arc("t_gain_quick", "p_new_gains")
+    b.arc("t_gain_full", "p_new_gains")
+    b.arc("p_new_gains", t("t_commit_params"))
+
+    return b.build()
+
+
+def default_choice_probabilities() -> Dict[str, Dict[str, float]]:
+    """Branch odds of a plant in steady regulation: most samples fall
+    within the comfort band, boost is rare, and most setpoint requests
+    validate with a quick gain update."""
+    return {
+        "p_band_state": {"t_band_low": 0.25, "t_band_ok": 0.6, "t_band_high": 0.15},
+        "p_boost_state": {"t_heat_normal": 0.8, "t_heat_boost": 0.2},
+        "p_valid_state": {"t_reject_setpoint": 0.1, "t_accept_setpoint": 0.9},
+        "p_gain_state": {"t_gain_quick": 0.7, "t_gain_full": 0.3},
+    }

@@ -1,0 +1,152 @@
+"""Testbench workloads for the heating-control plant.
+
+The sensor loop samples on a fixed period; setpoint requests follow the
+*diurnal* arrival process of :func:`repro.runtime.events.diurnal_events`
+— people adjust thermostats when they wake up and when they come home,
+so the request rate swings sinusoidally over the day
+(``arrival="exponential"`` restores memoryless requests for comparison
+runs).
+
+:class:`HeatingFleetWorkload` scales the testbench to a building fleet
+with per-instance derived seeds, for
+:class:`~repro.runtime.fleet.FleetSimulator` and ``repro-qss serve
+--family heating``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from ...runtime.events import (
+    ChoiceSampler,
+    Event,
+    arrival_events,
+    merge_streams,
+    periodic_events,
+    with_choices,
+)
+from .model import (
+    SAMPLE_CHOICES,
+    SAMPLE_SOURCE,
+    SETPOINT_CHOICES,
+    SETPOINT_SOURCE,
+    default_choice_probabilities,
+)
+
+
+@dataclass
+class HeatingWorkload:
+    """A reproducible heating-plant testbench.
+
+    Attributes
+    ----------
+    samples:
+        Number of periodic temperature samples.
+    sample_period:
+        Period of the sensor loop.
+    setpoint_mean_interval:
+        Long-run mean inter-arrival time of setpoint requests.
+    arrival:
+        Arrival process of the setpoint requests (``"diurnal"`` by
+        default, or any of
+        :data:`repro.runtime.events.ARRIVAL_PROCESSES`).
+    seed:
+        Seed for both the arrival process and the choice resolutions.
+    probabilities:
+        Branch probabilities per choice place; defaults to
+        :func:`default_choice_probabilities`.
+    """
+
+    samples: int = 50
+    sample_period: float = 1.0
+    setpoint_mean_interval: float = 6.0
+    arrival: str = "diurnal"
+    seed: int = 2026
+    probabilities: Optional[Mapping[str, Mapping[str, float]]] = None
+
+    def events(self) -> List[Event]:
+        """Generate the merged, time-ordered event stream."""
+        probabilities = self.probabilities or default_choice_probabilities()
+        sampler = ChoiceSampler(
+            probabilities,
+            seed=self.seed,
+            per_source={
+                SAMPLE_SOURCE: list(SAMPLE_CHOICES),
+                SETPOINT_SOURCE: list(SETPOINT_CHOICES),
+            },
+        )
+        sample_stream = periodic_events(
+            SAMPLE_SOURCE, period=self.sample_period, count=self.samples
+        )
+        # setpoint requests arrive over the sampling horizon
+        horizon = sample_stream[-1].time if sample_stream else 0.0
+        request_count = max(1, int(horizon / self.setpoint_mean_interval) + 1)
+        request_stream = arrival_events(
+            self.arrival,
+            SETPOINT_SOURCE,
+            mean_interval=self.setpoint_mean_interval,
+            count=request_count,
+            seed=self.seed,
+        )
+        merged = merge_streams(sample_stream, request_stream)
+        return with_choices(merged, sampler)
+
+    def summary(self) -> Dict[str, int]:
+        events = self.events()
+        return {
+            "events": len(events),
+            "samples": sum(1 for e in events if e.source == SAMPLE_SOURCE),
+            "setpoints": sum(1 for e in events if e.source == SETPOINT_SOURCE),
+        }
+
+
+def make_testbench(
+    samples: int = 50, seed: int = 2026, arrival: str = "diurnal"
+) -> List[Event]:
+    """``samples`` sensor readings plus the concurrent setpoint requests."""
+    return HeatingWorkload(samples=samples, seed=seed, arrival=arrival).events()
+
+
+@dataclass
+class HeatingFleetWorkload:
+    """A fleet of independent heating-plant testbenches (one per zone).
+
+    Instance ``i`` derives the reproducible, distinct seed
+    ``seed * 1_000_003 + i`` for its own arrival process and choice
+    sampler, exactly like the ATM fleet workload.
+    """
+
+    instances: int = 100
+    samples: int = 50
+    sample_period: float = 1.0
+    setpoint_mean_interval: float = 6.0
+    arrival: str = "diurnal"
+    seed: int = 2026
+    probabilities: Optional[Mapping[str, Mapping[str, float]]] = None
+
+    def instance_seed(self, instance: int) -> int:
+        return self.seed * 1_000_003 + instance
+
+    def streams(self) -> List[List[Event]]:
+        """One merged, time-ordered event stream per instance."""
+        return [
+            HeatingWorkload(
+                samples=self.samples,
+                sample_period=self.sample_period,
+                setpoint_mean_interval=self.setpoint_mean_interval,
+                arrival=self.arrival,
+                seed=self.instance_seed(i),
+                probabilities=self.probabilities,
+            ).events()
+            for i in range(self.instances)
+        ]
+
+
+def make_fleet_testbench(
+    instances: int, samples: int = 50, seed: int = 2026, arrival: str = "diurnal"
+) -> List[List[Event]]:
+    """Per-instance testbenches for an ``instances``-zone heating fleet."""
+    return HeatingFleetWorkload(
+        instances=instances, samples=samples, seed=seed, arrival=arrival
+    ).streams()

@@ -1,0 +1,238 @@
+"""FCPN model of a packet-router line card.
+
+A second case study in the paper's embedded-networking domain: the
+ingress/egress pipeline of a router line card.  Like the ATM server it
+is a reactive system with two independent-rate environment inputs —
+*Packet*, the irregular (bursty, in practice) arrival of a frame on the
+ingress port, and *SchedTick*, the periodic transmit-slot event of the
+egress scheduler — and a handful of data-dependent choices resolved by
+packet contents and queue occupancy:
+
+* C1 ``p_version_check``: IPv4 or IPv6 header parsing path;
+* C2 ``p_acl_state``: the ACL filter accepts or denies the packet;
+* C3 ``p_route_state``: FIB lookup hits or misses (miss punts to CPU);
+* C4 ``p_admit_state``: the output queue admits or tail-drops;
+* C5 ``p_occupancy``: the transmit slot finds backlogged queues or not;
+* C6 ``p_policy_state``: strict-priority or weighted-round-robin pick.
+
+Every event quiesces (all produced tokens drain), the net is free
+choice, bounded and quasi-statically schedulable — the same properties
+the ATM model exhibits, so the whole pipeline (properties, QSS
+synthesis, codegen, serving) applies unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...petrinet import NetBuilder, PetriNet
+
+#: The two independent-rate environment inputs.
+PACKET_SOURCE = "t_packet"
+SCHED_SOURCE = "t_sched_tick"
+
+#: Choice places resolved while processing a Packet event, pipeline order.
+PACKET_CHOICES = (
+    "p_version_check",  # C1: IPv4 / IPv6
+    "p_acl_state",      # C2: ACL accept / deny
+    "p_route_state",    # C3: FIB hit / miss
+    "p_admit_state",    # C4: queue admit / tail drop
+)
+
+#: Choice places resolved while processing a SchedTick event.
+SCHED_CHOICES = (
+    "p_occupancy",      # C5: queues empty / backlogged
+    "p_policy_state",   # C6: strict priority / WRR
+)
+
+#: All 6 non-deterministic choices of the model.
+ROUTER_CHOICE_PLACES = PACKET_CHOICES + SCHED_CHOICES
+
+#: Functional module of every transition (the line-card blocks); the
+#: ``modules`` partition of ``repro-qss serve --family router``.
+MODULE_PARTITION: Dict[str, List[str]] = {
+    "ingress": [
+        "t_packet",
+        "t_parse_frame",
+        "t_ipv4",
+        "t_ipv6",
+        "t_acl_check",
+    ],
+    "filter": [
+        "t_acl_accept",
+        "t_acl_deny",
+        "t_count_deny",
+        "t_drop_packet",
+    ],
+    "lookup": [
+        "t_fib_lookup",
+        "t_route_hit",
+        "t_route_miss",
+        "t_punt_cpu",
+        "t_cpu_done",
+    ],
+    "queueing": [
+        "t_queue_admit",
+        "t_queue_drop",
+        "t_count_drop",
+        "t_drop_done",
+        "t_enqueue_pkt",
+        "t_enqueue_done",
+    ],
+    "scheduler": [
+        "t_sched_tick",
+        "t_sched_poll",
+        "t_queues_empty",
+        "t_idle_slot",
+        "t_queues_backlogged",
+        "t_strict_prio",
+        "t_wrr_pick",
+    ],
+    "egress": [
+        "t_dequeue_head",
+        "t_rewrite_header",
+        "t_transmit",
+        "t_tx_done",
+    ],
+}
+
+#: Abstract execution cost per transition; the data-path computations
+#: (parsing, FIB lookup, header rewrite) are the heavy steps.
+_TRANSITION_COSTS: Dict[str, int] = {
+    "t_packet": 1,
+    "t_parse_frame": 4,
+    "t_ipv4": 2,
+    "t_ipv6": 3,
+    "t_acl_check": 3,
+    "t_acl_accept": 1,
+    "t_acl_deny": 1,
+    "t_count_deny": 1,
+    "t_drop_packet": 1,
+    "t_fib_lookup": 5,
+    "t_route_hit": 1,
+    "t_route_miss": 1,
+    "t_punt_cpu": 4,
+    "t_cpu_done": 1,
+    "t_queue_admit": 1,
+    "t_queue_drop": 1,
+    "t_count_drop": 1,
+    "t_drop_done": 1,
+    "t_enqueue_pkt": 3,
+    "t_enqueue_done": 1,
+    "t_sched_tick": 1,
+    "t_sched_poll": 3,
+    "t_queues_empty": 1,
+    "t_idle_slot": 1,
+    "t_queues_backlogged": 1,
+    "t_strict_prio": 2,
+    "t_wrr_pick": 4,
+    "t_dequeue_head": 3,
+    "t_rewrite_header": 4,
+    "t_transmit": 4,
+    "t_tx_done": 1,
+}
+
+
+def build_router_net() -> PetriNet:
+    """Build the line-card FCPN (31 transitions, 6 free choices)."""
+    b = NetBuilder("packet_router")
+
+    def t(name: str) -> str:
+        b.transition(name, cost=_TRANSITION_COSTS.get(name, 1))
+        return name
+
+    # ------------------------------------------------------------------
+    # Packet path: parse -> ACL -> FIB -> queue admission
+    # ------------------------------------------------------------------
+    b.source(PACKET_SOURCE, label="Packet arrival",
+             cost=_TRANSITION_COSTS["t_packet"])
+    b.arc(PACKET_SOURCE, "p_frame_raw")
+    b.arc("p_frame_raw", t("t_parse_frame"))
+    b.arc("t_parse_frame", "p_version_check")
+    # C1: IP version (both parsing paths converge on the ACL check)
+    b.arc("p_version_check", t("t_ipv4"))
+    b.arc("p_version_check", t("t_ipv6"))
+    b.arc("t_ipv4", "p_parsed")
+    b.arc("t_ipv6", "p_parsed")
+    # header metadata travels in parallel with the version diamond
+    b.arc("t_parse_frame", "p_frame_meta")
+    b.arc("p_parsed", t("t_acl_check"))
+    b.arc("p_frame_meta", "t_acl_check")
+    b.arc("t_acl_check", "p_acl_state")
+    # C2: ACL verdict
+    b.arc("p_acl_state", t("t_acl_accept"))
+    b.arc("p_acl_state", t("t_acl_deny"))
+    b.arc("t_acl_deny", "p_denied")
+    b.arc("p_denied", t("t_count_deny"))
+    b.arc("t_count_deny", "p_deny_done")
+    b.arc("p_deny_done", t("t_drop_packet"))
+    b.arc("t_acl_accept", "p_accepted")
+    b.arc("p_accepted", t("t_fib_lookup"))
+    b.arc("t_fib_lookup", "p_route_state")
+    # C3: FIB lookup outcome
+    b.arc("p_route_state", t("t_route_hit"))
+    b.arc("p_route_state", t("t_route_miss"))
+    b.arc("t_route_miss", "p_punted")
+    b.arc("p_punted", t("t_punt_cpu"))
+    b.arc("t_punt_cpu", "p_cpu_queued")
+    b.arc("p_cpu_queued", t("t_cpu_done"))
+    b.arc("t_route_hit", "p_admit_state")
+    # C4: output-queue admission
+    b.arc("p_admit_state", t("t_queue_admit"))
+    b.arc("p_admit_state", t("t_queue_drop"))
+    b.arc("t_queue_drop", "p_dropped")
+    b.arc("p_dropped", t("t_count_drop"))
+    b.arc("t_count_drop", "p_drop_counted")
+    b.arc("p_drop_counted", t("t_drop_done"))
+    b.arc("t_queue_admit", "p_admitted")
+    b.arc("p_admitted", t("t_enqueue_pkt"))
+    b.arc("t_enqueue_pkt", "p_enq_ok")
+    b.arc("p_enq_ok", t("t_enqueue_done"))
+
+    # ------------------------------------------------------------------
+    # SchedTick path: poll occupancy -> pick policy -> transmit
+    # ------------------------------------------------------------------
+    b.source(SCHED_SOURCE, label="Transmit slot",
+             cost=_TRANSITION_COSTS["t_sched_tick"])
+    b.arc(SCHED_SOURCE, "p_slot_raw")
+    b.arc("p_slot_raw", t("t_sched_poll"))
+    b.arc("t_sched_poll", "p_occupancy")
+    # slot bookkeeping travels in parallel with the scheduling decision
+    b.arc("t_sched_poll", "p_slot_meta")
+    # C5: any backlogged queues this slot?
+    b.arc("p_occupancy", t("t_queues_empty"))
+    b.arc("p_occupancy", t("t_queues_backlogged"))
+    b.arc("t_queues_empty", "p_idle")
+    b.arc("p_idle", t("t_idle_slot"))
+    b.arc("t_idle_slot", "p_slot_done")
+    b.arc("t_queues_backlogged", "p_policy_state")
+    # C6: scheduling policy for this slot
+    b.arc("p_policy_state", t("t_strict_prio"))
+    b.arc("p_policy_state", t("t_wrr_pick"))
+    b.arc("t_strict_prio", "p_picked")
+    b.arc("t_wrr_pick", "p_picked")
+    b.arc("p_picked", t("t_dequeue_head"))
+    b.arc("t_dequeue_head", "p_head")
+    b.arc("p_head", t("t_rewrite_header"))
+    b.arc("t_rewrite_header", "p_tx_ready")
+    b.arc("p_tx_ready", t("t_transmit"))
+    b.arc("t_transmit", "p_slot_done")
+    # the slot bookkeeping token joins the completion of either branch
+    b.arc("p_slot_done", t("t_tx_done"))
+    b.arc("p_slot_meta", "t_tx_done")
+
+    return b.build()
+
+
+def default_choice_probabilities() -> Dict[str, Dict[str, float]]:
+    """Branch odds of a moderately loaded line card: mostly IPv4
+    traffic, a permissive ACL, a warm FIB, rare tail drops, and busy
+    transmit slots."""
+    return {
+        "p_version_check": {"t_ipv4": 0.8, "t_ipv6": 0.2},
+        "p_acl_state": {"t_acl_accept": 0.9, "t_acl_deny": 0.1},
+        "p_route_state": {"t_route_hit": 0.95, "t_route_miss": 0.05},
+        "p_admit_state": {"t_queue_admit": 0.9, "t_queue_drop": 0.1},
+        "p_occupancy": {"t_queues_empty": 0.25, "t_queues_backlogged": 0.75},
+        "p_policy_state": {"t_strict_prio": 0.4, "t_wrr_pick": 0.6},
+    }

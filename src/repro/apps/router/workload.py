@@ -1,0 +1,153 @@
+"""Testbench workloads for the packet-router line card.
+
+Router traffic is the canonical *bursty* arrival process: frames arrive
+in trains separated by idle gaps, which is exactly what
+:func:`repro.runtime.events.bursty_events` models — so the default
+packet stream here is bursty (``arrival="exponential"`` restores
+memoryless arrivals for comparison runs).  The transmit-slot SchedTick
+is periodic, like the ATM cell-slot clock.
+
+:class:`RouterFleetWorkload` scales the testbench to a line-card fleet
+with per-instance derived seeds, for
+:class:`~repro.runtime.fleet.FleetSimulator` and ``repro-qss serve
+--family router``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from ...runtime.events import (
+    ChoiceSampler,
+    Event,
+    arrival_events,
+    merge_streams,
+    periodic_events,
+    with_choices,
+)
+from .model import (
+    PACKET_CHOICES,
+    PACKET_SOURCE,
+    SCHED_CHOICES,
+    SCHED_SOURCE,
+    default_choice_probabilities,
+)
+
+
+@dataclass
+class RouterWorkload:
+    """A reproducible line-card testbench.
+
+    Attributes
+    ----------
+    packets:
+        Number of ingress frame arrivals.
+    packet_mean_interval:
+        Long-run mean inter-arrival time of frames.
+    slot_period:
+        Period of the transmit-slot SchedTick.
+    arrival:
+        Arrival process of the frames (``"bursty"`` by default — packet
+        trains — or any of
+        :data:`repro.runtime.events.ARRIVAL_PROCESSES`).
+    seed:
+        Seed for both the arrival process and the choice resolutions.
+    probabilities:
+        Branch probabilities per choice place; defaults to
+        :func:`default_choice_probabilities`.
+    """
+
+    packets: int = 50
+    packet_mean_interval: float = 1.5
+    slot_period: float = 2.0
+    arrival: str = "bursty"
+    seed: int = 2026
+    probabilities: Optional[Mapping[str, Mapping[str, float]]] = None
+
+    def events(self) -> List[Event]:
+        """Generate the merged, time-ordered event stream."""
+        probabilities = self.probabilities or default_choice_probabilities()
+        sampler = ChoiceSampler(
+            probabilities,
+            seed=self.seed,
+            per_source={
+                PACKET_SOURCE: list(PACKET_CHOICES),
+                SCHED_SOURCE: list(SCHED_CHOICES),
+            },
+        )
+        packet_stream = arrival_events(
+            self.arrival,
+            PACKET_SOURCE,
+            mean_interval=self.packet_mean_interval,
+            count=self.packets,
+            seed=self.seed,
+        )
+        # transmit slots run for as long as frames keep arriving (plus
+        # one trailing slot to drain the queues)
+        horizon = packet_stream[-1].time if packet_stream else 0.0
+        slot_count = int(horizon / self.slot_period) + 2
+        slot_stream = periodic_events(
+            SCHED_SOURCE, period=self.slot_period, count=slot_count
+        )
+        merged = merge_streams(packet_stream, slot_stream)
+        return with_choices(merged, sampler)
+
+    def summary(self) -> Dict[str, int]:
+        events = self.events()
+        return {
+            "events": len(events),
+            "packets": sum(1 for e in events if e.source == PACKET_SOURCE),
+            "slots": sum(1 for e in events if e.source == SCHED_SOURCE),
+        }
+
+
+def make_testbench(
+    packets: int = 50, seed: int = 2026, arrival: str = "bursty"
+) -> List[Event]:
+    """``packets`` ingress frames plus the concurrent transmit slots."""
+    return RouterWorkload(packets=packets, seed=seed, arrival=arrival).events()
+
+
+@dataclass
+class RouterFleetWorkload:
+    """A fleet of independent line-card testbenches.
+
+    Instance ``i`` derives the reproducible, distinct seed
+    ``seed * 1_000_003 + i`` for its own arrival process and choice
+    sampler, exactly like the ATM fleet workload.
+    """
+
+    instances: int = 100
+    packets: int = 50
+    packet_mean_interval: float = 1.5
+    slot_period: float = 2.0
+    arrival: str = "bursty"
+    seed: int = 2026
+    probabilities: Optional[Mapping[str, Mapping[str, float]]] = None
+
+    def instance_seed(self, instance: int) -> int:
+        return self.seed * 1_000_003 + instance
+
+    def streams(self) -> List[List[Event]]:
+        """One merged, time-ordered event stream per instance."""
+        return [
+            RouterWorkload(
+                packets=self.packets,
+                packet_mean_interval=self.packet_mean_interval,
+                slot_period=self.slot_period,
+                arrival=self.arrival,
+                seed=self.instance_seed(i),
+                probabilities=self.probabilities,
+            ).events()
+            for i in range(self.instances)
+        ]
+
+
+def make_fleet_testbench(
+    instances: int, packets: int = 50, seed: int = 2026, arrival: str = "bursty"
+) -> List[List[Event]]:
+    """Per-instance testbenches for an ``instances``-strong line-card fleet."""
+    return RouterFleetWorkload(
+        instances=instances, packets=packets, seed=seed, arrival=arrival
+    ).streams()

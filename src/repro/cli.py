@@ -46,12 +46,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .analysis import build_comparison, render_corpus_summary
-from .apps.atm import (
-    MODULE_PARTITION,
-    build_atm_server_net,
-    make_fleet_testbench,
-    make_testbench,
-)
+from .apps import atm, heating, router
 from .codegen import EmitOptions, emit_c, native_source, synthesize
 from .gallery import paper_figures
 from .petrinet import (
@@ -70,14 +65,26 @@ from .petrinet import (
 from .petrinet.corpus import (
     CORPUS_ANALYSES,
     CORPUS_FAMILIES,
+    CORPUS_SCHEMA,
     corpus_to_csv,
     corpus_to_json_dict,
     generate_corpus,
     run_corpus,
 )
+from .petrinet.corpus_schema import (
+    CorpusSchemaError,
+    validate_corpus_document,
+    validate_corpus_file,
+)
 from .petrinet.exceptions import PetriNetError
 from .qss import analyse, partition_tasks
-from .runtime import FleetSimulator, ModuleAssignment, synthetic_streams
+from .runtime import (
+    ARRIVAL_PROCESSES,
+    FleetSimulator,
+    ModuleAssignment,
+    parse_timing,
+    synthetic_streams,
+)
 
 
 def _load(path: str):
@@ -208,11 +215,11 @@ def cmd_gallery(args: argparse.Namespace) -> int:
 
 
 def cmd_atm_table1(args: argparse.Namespace) -> int:
-    net = build_atm_server_net()
-    events = make_testbench(cells=args.cells, seed=args.seed)
+    net = atm.build_atm_server_net()
+    events = atm.make_testbench(cells=args.cells, seed=args.seed)
     table = build_comparison(
         net,
-        MODULE_PARTITION,
+        atm.MODULE_PARTITION,
         events,
         title="Table I (reproduced)",
         engine=args.engine,
@@ -244,27 +251,66 @@ def _parse_family_args(text: str, parser: argparse.ArgumentParser):
     return overrides
 
 
+#: The built-in application case studies: builder, functional-module
+#: partition, native arrival process, and per-fleet testbench maker
+#: (the ``--events`` count maps to the family's driving input: ATM
+#: cells, router packets, heating samples).
+_APP_FAMILIES = {
+    "atm": (
+        atm.build_atm_server_net,
+        atm.MODULE_PARTITION,
+        "exponential",
+        lambda instances, events, seed, arrival: atm.make_fleet_testbench(
+            instances, cells=events, seed=seed, arrival=arrival
+        ),
+    ),
+    "router": (
+        router.build_router_net,
+        router.MODULE_PARTITION,
+        "bursty",
+        lambda instances, events, seed, arrival: router.make_fleet_testbench(
+            instances, packets=events, seed=seed, arrival=arrival
+        ),
+    ),
+    "heating": (
+        heating.build_heating_net,
+        heating.MODULE_PARTITION,
+        "diurnal",
+        lambda instances, events, seed, arrival: heating.make_fleet_testbench(
+            instances, samples=events, seed=seed, arrival=arrival
+        ),
+    ),
+}
+
+
+def _serve_family_names() -> List[str]:
+    # the app families shadow their same-named corpus entries (the serve
+    # path uses the realistic testbenches, not synthetic streams)
+    return sorted(set(_APP_FAMILIES) | set(CORPUS_FAMILIES))
+
+
 def _serve_workload(args: argparse.Namespace, parser: argparse.ArgumentParser):
     """Resolve ``--family`` into (net, assignment, per-instance streams)."""
     name, _, argstr = args.family.partition(":")
-    if name == "atm":
+    app = _APP_FAMILIES.get(name)
+    if app is not None:
         if argstr:
             parser.error(
-                "argument --family: the built-in 'atm' family takes no "
+                f"argument --family: the built-in {name!r} family takes no "
                 "parameters"
             )
-        net = build_atm_server_net()
-        streams = make_fleet_testbench(
-            args.instances, cells=args.events, seed=args.seed
-        )
+        build, partition_groups, native_arrival, bench = app
+        net = build()
+        arrival = args.arrival or native_arrival
+        streams = bench(args.instances, args.events, args.seed, arrival)
         if args.partition == "modules":
-            assignment = ModuleAssignment.from_groups(MODULE_PARTITION)
+            assignment = ModuleAssignment.from_groups(partition_groups)
         else:
             assignment = ModuleAssignment.single_task(net)
         return net, assignment, streams
     family = CORPUS_FAMILIES.get(name)
     if family is None:
-        valid = ", ".join(["atm"] + sorted(CORPUS_FAMILIES))
+        valid = ", ".join(_serve_family_names())
         parser.error(
             f"argument --family: unknown family {name!r} (valid: {valid})"
         )
@@ -280,7 +326,11 @@ def _serve_workload(args: argparse.Namespace, parser: argparse.ArgumentParser):
     params.update(overrides)
     net = family.build(args.seed, params)
     streams = synthetic_streams(
-        net, args.instances, args.events, seed=args.seed
+        net,
+        args.instances,
+        args.events,
+        seed=args.seed,
+        arrival=args.arrival or "exponential",
     )
     return net, ModuleAssignment.single_task(net), streams
 
@@ -324,19 +374,21 @@ def _validate_serve_args(
             "legacy is only available for the one-shot batch run"
         )
     family_name = args.family.partition(":")[0]
-    if family_name != "atm" and family_name not in CORPUS_FAMILIES:
-        valid = ", ".join(["atm"] + sorted(CORPUS_FAMILIES))
+    if family_name not in _APP_FAMILIES and family_name not in CORPUS_FAMILIES:
+        valid = ", ".join(_serve_family_names())
         parser.error(
             f"argument --family: unknown family {family_name!r} "
             f"(valid: {valid})"
         )
-    if args.partition == "modules" and family_name != "atm":
+    if args.partition == "modules" and family_name not in _APP_FAMILIES:
         parser.error(
-            "argument --partition: the 'modules' partition is specific to "
-            "the ATM server; corpus families run with --partition single"
+            "argument --partition: the 'modules' partition needs an "
+            "application family "
+            f"({', '.join(sorted(_APP_FAMILIES))}); corpus families run "
+            "with --partition single"
         )
     if args.partition is None:
-        args.partition = "modules" if family_name == "atm" else "single"
+        args.partition = "modules" if family_name in _APP_FAMILIES else "single"
     if args.listen is not None:
         host, sep, port = args.listen.rpartition(":")
         if not sep or not host:
@@ -350,7 +402,9 @@ def _validate_serve_args(
             parser.error(f"argument --listen: bad port {port!r}")
 
 
-async def _serve_service(args: argparse.Namespace, net, assignment, streams) -> int:
+async def _serve_service(
+    args: argparse.Namespace, net, assignment, streams, timing
+) -> int:
     import asyncio as aio
     import time as time_mod
 
@@ -365,7 +419,7 @@ async def _serve_service(args: argparse.Namespace, net, assignment, streams) -> 
 
     shards = args.shards or 1
     supervisor = FleetSupervisor(
-        net, assignment, shards=shards, backend=args.backend
+        net, assignment, shards=shards, backend=args.backend, timing=timing
     )
     await supervisor.start()
     started = time_mod.monotonic()
@@ -467,6 +521,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     parser = args.serve_parser
     _validate_serve_args(args, parser)
     net, assignment, streams = _serve_workload(args, parser)
+    try:
+        timing = parse_timing(args.timing, net, seed=args.seed)
+    except ValueError as error:
+        parser.error(f"argument --timing: {error}")
     service_mode = (
         args.shards is not None
         or args.listen is not None
@@ -475,8 +533,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if service_mode:
         import asyncio
 
-        return asyncio.run(_serve_service(args, net, assignment, streams))
-    fleet = FleetSimulator(net, assignment, engine=args.engine)
+        return asyncio.run(
+            _serve_service(args, net, assignment, streams, timing)
+        )
+    fleet = FleetSimulator(net, assignment, engine=args.engine, timing=timing)
     result = fleet.run(streams, workers=args.workers)
     print(result.describe())
     print(
@@ -490,6 +550,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def cmd_corpus(args: argparse.Namespace) -> int:
     if args.list_families:
         print("available families:", ", ".join(sorted(CORPUS_FAMILIES)))
+        return 0
+    if args.validate_json:
+        try:
+            doc = validate_corpus_file(args.validate_json)
+        except OSError as error:
+            print(f"error: cannot read {args.validate_json}: {error}", file=sys.stderr)
+            return 2
+        except CorpusSchemaError as error:
+            print(f"error: {args.validate_json}: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"{args.validate_json}: valid {CORPUS_SCHEMA} document "
+            f"({doc['n']} record(s), {doc['analyse']} mode)"
+        )
         return 0
     families = args.families.split(",") if args.families else None
     try:
@@ -518,6 +592,8 @@ def cmd_corpus(args: argparse.Namespace) -> int:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
     summary = corpus_to_json_dict(result)
+    # the CLI never emits a document it would refuse to validate
+    validate_corpus_document(summary)
     if args.json:
         import json
 
@@ -687,6 +763,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_corpus.add_argument("--json", help="write the JSON summary to this file")
     p_corpus.add_argument("--csv", help="write one CSV row per net to this file")
     p_corpus.add_argument(
+        "--validate-json",
+        metavar="FILE",
+        help="validate FILE against the repro-qss.corpus/3 schema (exact "
+        "field sets, per-field types, cross-field invariants) and exit: "
+        "0 valid, 1 schema violation (the offending path is printed), "
+        "2 unreadable file",
+    )
+    p_corpus.add_argument(
         "--max-markings",
         type=int,
         default=2_000,
@@ -735,9 +819,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--family",
         default="atm",
-        help="workload family: 'atm' (the Section 5 server, default) or "
+        help="workload family: an application case study — 'atm' (the "
+        "Section 5 server, default), 'router' (packet line card, bursty "
+        "traffic) or 'heating' (control plant, diurnal setpoints) — or "
         "any corpus generator family, optionally with NAME:key=value,... "
         "parameter overrides (see `repro-qss corpus --list-families`)",
+    )
+    p_serve.add_argument(
+        "--arrival",
+        choices=ARRIVAL_PROCESSES,
+        default=None,
+        help="arrival process of the per-instance event streams: "
+        "exponential (memoryless), bursty (packet trains separated by "
+        "idle gaps) or diurnal (sinusoidally rate-modulated); the "
+        "default is the family's native process (atm and corpus "
+        "families: exponential, router: bursty, heating: diurnal)",
+    )
+    p_serve.add_argument(
+        "--timing",
+        default="none",
+        metavar="SPEC",
+        help="timed firing delays, charged in integer ticks per firing "
+        "and reported as per-instance delay percentiles: 'none' "
+        "(untimed, default), 'fixed:N' (every transition costs N "
+        "ticks) or 'uniform:LOW-HIGH' (per-transition costs drawn "
+        "reproducibly from [LOW, HIGH] with the fleet seed)",
     )
     p_serve.add_argument(
         "--workers",

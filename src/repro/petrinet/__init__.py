@@ -51,6 +51,14 @@ from .corpus import (
     run_corpus,
     validate_corpus_analyse,
 )
+from .corpus_schema import (
+    DOCUMENT_FIELDS,
+    CorpusSchemaError,
+    canonicalize_corpus_document,
+    validate_corpus_document,
+    validate_corpus_file,
+    validate_corpus_record,
+)
 from .exceptions import (
     DuplicateNodeError,
     InconsistentNetError,
@@ -214,6 +222,13 @@ __all__ = [
     "corpus_to_json_dict",
     "corpus_from_json_dict",
     "corpus_to_csv",
+    # corpus schema validation
+    "CorpusSchemaError",
+    "DOCUMENT_FIELDS",
+    "validate_corpus_document",
+    "validate_corpus_record",
+    "validate_corpus_file",
+    "canonicalize_corpus_document",
     # exceptions
     "PetriNetError",
     "DuplicateNodeError",

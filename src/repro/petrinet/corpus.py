@@ -222,6 +222,18 @@ def _build_gallery(seed: int, params: Dict[str, Any]) -> PetriNet:
     return paper_figures()[params["figure"]]()
 
 
+def _build_router(seed: int, params: Dict[str, Any]) -> PetriNet:
+    from ..apps.router import build_router_net  # local import: apps imports petrinet
+
+    return build_router_net()
+
+
+def _build_heating(seed: int, params: Dict[str, Any]) -> PetriNet:
+    from ..apps.heating import build_heating_net  # local import: apps imports petrinet
+
+    return build_heating_net()
+
+
 def _draw_pipeline_params(rng: random.Random) -> Dict[str, Any]:
     stages = rng.randint(2, 5)
     rates = "-".join(str(rng.randint(1, 3)) for _ in range(stages))
@@ -326,6 +338,12 @@ def _registry() -> Dict[str, CorpusFamily]:
             lambda rng: {"figure": rng.choice(_gallery_figure_ids())},
             _build_gallery,
         ),
+        # The application case studies are fixed nets (no drawn
+        # parameters): every spec of the family builds the same model,
+        # which keeps them cheap and makes the corpus exercise the
+        # realistic topologies alongside the synthetic generators.
+        CorpusFamily("router", lambda rng: {}, _build_router),
+        CorpusFamily("heating", lambda rng: {}, _build_heating),
     ]
     return {f.name: f for f in families}
 

@@ -16,11 +16,16 @@ fleet performance contract.
 
 from .cost import DEFAULT_COST_MODEL, CostModel
 from .events import (
+    ARRIVAL_PROCESSES,
     ChoiceSampler,
     Event,
+    arrival_events,
+    bursty_events,
+    diurnal_events,
     irregular_events,
     merge_streams,
     periodic_events,
+    validate_arrival,
     with_choices,
 )
 from .fleet import FleetEngine, FleetResult, FleetSimulator, synthetic_streams
@@ -31,6 +36,12 @@ from .reactive import (
     validate_budget_policy,
 )
 from .rtos import RTOS, ExecutionStats
+from .stochastic import (
+    TIMING_SPECS,
+    StochasticChoicePolicy,
+    TimingModel,
+    parse_timing,
+)
 
 __all__ = [
     "CostModel",
@@ -38,6 +49,11 @@ __all__ = [
     "Event",
     "periodic_events",
     "irregular_events",
+    "bursty_events",
+    "diurnal_events",
+    "arrival_events",
+    "ARRIVAL_PROCESSES",
+    "validate_arrival",
     "merge_streams",
     "with_choices",
     "ChoiceSampler",
@@ -51,4 +67,8 @@ __all__ = [
     "FleetEngine",
     "FleetResult",
     "synthetic_streams",
+    "TimingModel",
+    "StochasticChoicePolicy",
+    "TIMING_SPECS",
+    "parse_timing",
 ]

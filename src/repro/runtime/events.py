@@ -14,6 +14,7 @@ draw them from configurable probabilities.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
@@ -82,6 +83,134 @@ def irregular_events(
         time += rng.expovariate(1.0 / mean_interval)
         events.append(Event(time=time, source=source, choices=dict(choices or {})))
     return events
+
+
+def bursty_events(
+    source: str,
+    mean_interval: float,
+    count: int,
+    seed: int = 0,
+    start: float = 0.0,
+    burst_mean: float = 4.0,
+    burst_spread: float = 0.1,
+    idle_factor: float = 5.0,
+    choices: Optional[Mapping[str, str]] = None,
+) -> List[Event]:
+    """``count`` events arriving in bursts separated by long idle gaps.
+
+    Models on/off traffic (a line card receiving packet trains, a
+    sensor delivering readings in flurries): burst sizes are geometric
+    with mean ``burst_mean``, events inside a burst are
+    ``burst_spread * mean_interval`` apart on average, and the idle gap
+    between bursts averages ``idle_factor * mean_interval``.  The
+    defaults keep the *long-run* mean inter-arrival time in the same
+    ballpark as :func:`irregular_events` while concentrating the
+    arrivals, which is what stresses run-to-completion serving.  Fully
+    determined by ``seed``.
+    """
+    if mean_interval <= 0:
+        raise ValueError("mean_interval must be positive")
+    if burst_mean < 1:
+        raise ValueError("burst_mean must be at least 1")
+    rng = random.Random(seed)
+    events: List[Event] = []
+    time = start
+    p_stop = 1.0 / burst_mean
+    while len(events) < count:
+        # idle gap before the burst
+        time += rng.expovariate(1.0 / (idle_factor * mean_interval))
+        # geometric burst size (at least one event)
+        while len(events) < count:
+            events.append(
+                Event(time=time, source=source, choices=dict(choices or {}))
+            )
+            if rng.random() < p_stop:
+                break
+            time += rng.expovariate(1.0 / (burst_spread * mean_interval))
+    return events
+
+
+def diurnal_events(
+    source: str,
+    mean_interval: float,
+    count: int,
+    seed: int = 0,
+    start: float = 0.0,
+    amplitude: float = 0.8,
+    period: float = 24.0,
+    choices: Optional[Mapping[str, str]] = None,
+) -> List[Event]:
+    """``count`` events whose arrival rate swings sinusoidally over a day.
+
+    A non-homogeneous arrival process: the instantaneous rate is
+    ``(1 + amplitude * sin(2*pi*t / period)) / mean_interval``, so
+    traffic peaks once per ``period`` (the diurnal cycle of user-facing
+    services) and ebbs ``amplitude`` below the mean in the trough.
+    Inter-arrival gaps are exponential at the rate in force when the
+    previous event arrived, which keeps the stream fully determined by
+    ``seed``.
+    """
+    if mean_interval <= 0:
+        raise ValueError("mean_interval must be positive")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("amplitude must be in [0, 1)")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    rng = random.Random(seed)
+    events: List[Event] = []
+    time = start
+    two_pi = 2.0 * math.pi
+    for _ in range(count):
+        rate = (1.0 + amplitude * math.sin(two_pi * time / period)) / mean_interval
+        time += rng.expovariate(rate)
+        events.append(Event(time=time, source=source, choices=dict(choices or {})))
+    return events
+
+
+#: Arrival-process kinds accepted by :func:`arrival_events` (and the
+#: ``arrival=`` argument of :func:`repro.runtime.fleet.synthetic_streams`
+#: / the ``--arrival`` flag of ``repro-qss serve``).
+ARRIVAL_PROCESSES = ("exponential", "bursty", "diurnal")
+
+
+def validate_arrival(arrival: str) -> str:
+    """Validate an ``arrival=`` kind argument, returning it unchanged."""
+    if arrival not in ARRIVAL_PROCESSES:
+        raise ValueError(
+            f"unknown arrival process {arrival!r}; expected one of "
+            f"{', '.join(ARRIVAL_PROCESSES)}"
+        )
+    return arrival
+
+
+def arrival_events(
+    arrival: str,
+    source: str,
+    mean_interval: float,
+    count: int,
+    seed: int = 0,
+    start: float = 0.0,
+    choices: Optional[Mapping[str, str]] = None,
+) -> List[Event]:
+    """Dispatch to the named arrival process with a shared signature.
+
+    ``"exponential"`` is :func:`irregular_events` (memoryless Poisson
+    arrivals, the historical default), ``"bursty"`` is
+    :func:`bursty_events`, ``"diurnal"`` is :func:`diurnal_events` —
+    all seeded, all with comparable long-run mean rates.
+    """
+    validate_arrival(arrival)
+    if arrival == "bursty":
+        return bursty_events(
+            source, mean_interval, count, seed=seed, start=start, choices=choices
+        )
+    if arrival == "diurnal":
+        return diurnal_events(
+            source, mean_interval, count, seed=seed, start=start, choices=choices
+        )
+    return irregular_events(
+        source, mean_interval, count, seed=seed, start=start, choices=choices
+    )
 
 
 def merge_streams(*streams: Sequence[Event]) -> List[Event]:

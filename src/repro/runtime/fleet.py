@@ -63,7 +63,14 @@ from ..petrinet.compiled import (
 )
 from ..petrinet.exceptions import NotEnabledError
 from .cost import CostModel
-from .events import ChoiceSampler, Event, irregular_events, merge_streams, with_choices
+from .events import (
+    ChoiceSampler,
+    Event,
+    arrival_events,
+    merge_streams,
+    validate_arrival,
+    with_choices,
+)
 from .reactive import (
     QUIESCENCE_MESSAGE,
     ModuleAssignment,
@@ -71,6 +78,7 @@ from .reactive import (
     validate_budget_policy,
 )
 from .rtos import ExecutionStats
+from .stochastic import StochasticChoicePolicy, TimingModel
 
 
 @dataclass
@@ -89,6 +97,10 @@ class FleetResult:
         The engine that produced the result.
     elapsed_seconds:
         Wall-clock of the run (the denominator of :attr:`throughput_eps`).
+    instance_ticks:
+        Per-instance timed-delay totals when the run used a
+        :class:`~repro.runtime.stochastic.TimingModel`, ``None`` for
+        untimed runs.
     """
 
     stats: ExecutionStats
@@ -96,6 +108,7 @@ class FleetResult:
     instance_events: np.ndarray
     engine: str
     elapsed_seconds: float = 0.0
+    instance_ticks: Optional[np.ndarray] = None
 
     @property
     def instances(self) -> int:
@@ -129,6 +142,14 @@ class FleetResult:
                 f"{name}={value:.0f}" for name, value in self.percentiles().items()
             ),
         ]
+        if self.instance_ticks is not None and len(self.instance_ticks):
+            lines.append(
+                "per-instance delay ticks: "
+                + ", ".join(
+                    f"p{q:g}={float(np.percentile(self.instance_ticks, q)):.0f}"
+                    for q in (50, 90, 95, 99)
+                )
+            )
         if self.elapsed_seconds > 0:
             lines.append(
                 f"throughput: {self.throughput_eps:.0f} events/s "
@@ -170,6 +191,12 @@ class FleetEngine:
     memo:
         ``True`` (default) enables the cascade memo; ``False`` forces
         the direct batched loop (the cross-check path).
+    timing:
+        Optional :class:`~repro.runtime.stochastic.TimingModel`.  Timed
+        runs track an extra per-instance integer tick total; the memo
+        path replays it as one ``fired @ ticks`` product per cascade and
+        the direct path accumulates it per firing — integer arithmetic
+        keeps the two byte-identical.
     """
 
     def __init__(
@@ -181,11 +208,13 @@ class FleetEngine:
         on_budget: str = "error",
         instances: int = 0,
         memo: bool = True,
+        timing: Optional[TimingModel] = None,
     ) -> None:
         self.on_budget = validate_budget_policy(on_budget)
         self.assignment = assignment
         self.cost = cost_model or CostModel()
         self.max_firings_per_event = max_firings_per_event
+        self.timing = timing
         self.cnet: CompiledNet = (
             net if isinstance(net, CompiledNet) else compile_net(net)
         )
@@ -220,6 +249,14 @@ class FleetEngine:
         )
         self._nonsource = np.array(
             [bool(pairs) for pairs in cnet.pre_lists], dtype=bool
+        )
+        # timed runs: integer tick delay per transition id (the all-zero
+        # vector keeps the untimed hot path branch-light)
+        self._timed = self.timing is not None
+        self._tick_vector = (
+            self.timing.tick_vector(cnet)
+            if self.timing is not None
+            else np.zeros(n_t, dtype=np.int64)
         )
         # successor transition ids per choice place id, for the per-event
         # "allowed" masks
@@ -262,6 +299,7 @@ class FleetEngine:
         self._c_count = 0
         self._c_end = np.empty(cap, dtype=np.int64)
         self._c_cycles = np.empty(cap, dtype=np.int64)
+        self._c_ticks = np.empty(cap, dtype=np.int64)
         self._c_body = np.empty(cap, dtype=np.int64)
         self._c_queue = np.empty(cap, dtype=np.int64)
         self._c_act_total = np.empty(cap, dtype=np.int64)
@@ -335,6 +373,7 @@ class FleetEngine:
         self._markings = np.empty((capacity, n_p), dtype=np.int64)
         self._markings[:instances] = self._initial
         self._cycles = np.zeros(capacity, dtype=np.int64)
+        self._ticks = np.zeros(capacity, dtype=np.int64)
         self._events = np.zeros(capacity, dtype=np.int64)
         self._fire_counts = np.zeros(len(self.cnet.transitions), dtype=np.int64)
         self._activation_counts = np.zeros(len(self._module_names), dtype=np.int64)
@@ -359,6 +398,7 @@ class FleetEngine:
             self._state_of_row[: self._n] = self._intern_state(self._initial)
         if reset_stats:
             self._cycles[: self._n] = 0
+            self._ticks[: self._n] = 0
             self._events[: self._n] = 0
             self._fire_counts[:] = 0
             self._activation_counts[:] = 0
@@ -380,7 +420,7 @@ class FleetEngine:
         if needed <= capacity:
             return
         new_cap = max(needed, 2 * capacity)
-        for name in ("_cycles", "_events", "_state_of_row"):
+        for name in ("_cycles", "_ticks", "_events", "_state_of_row"):
             old = getattr(self, name)
             grown = np.zeros(new_cap, dtype=old.dtype)
             grown[: self._n] = old[: self._n]
@@ -397,14 +437,16 @@ class FleetEngine:
         rows = np.arange(self._n, self._n + count, dtype=np.int64)
         self._markings[rows] = self._initial
         self._cycles[rows] = 0
+        self._ticks[rows] = 0
         self._events[rows] = 0
         if self._memo_active:
             self._state_of_row[rows] = self._intern_state(self._initial)
         self._n += count
         return rows
 
-    def export_instance(self, row: int) -> Tuple[List[int], int, int]:
-        """Snapshot one instance's migratable state (marking, cycles, events).
+    def export_instance(self, row: int) -> Tuple[List[int], int, int, int]:
+        """Snapshot one instance's migratable state
+        (marking, cycles, events, delay ticks).
 
         Aggregate accounting (firings, activations, cycle totals) stays
         with the exporting kernel — the supervisor sums it across shards
@@ -418,6 +460,7 @@ class FleetEngine:
             [int(v) for v in marking],
             int(self._cycles[row]),
             int(self._events[row]),
+            int(self._ticks[row]),
         )
 
     def remove_instance(self, row: int) -> int:
@@ -433,18 +476,26 @@ class FleetEngine:
         if row != last:
             self._markings[row] = self._markings[last]
             self._cycles[row] = self._cycles[last]
+            self._ticks[row] = self._ticks[last]
             self._events[row] = self._events[last]
             self._state_of_row[row] = self._state_of_row[last]
         self._n = last
         return last
 
-    def import_instance(self, state: Tuple[Sequence[int], int, int]) -> int:
-        """Restore a migrated instance; returns its new row index."""
-        marking, cycles, events = state
+    def import_instance(self, state: Sequence) -> int:
+        """Restore a migrated instance; returns its new row index.
+
+        Accepts both the current 4-tuple snapshot and the pre-timing
+        3-tuple (``ticks`` defaults to 0), so mixed-version shards can
+        still exchange instances mid-rollout.
+        """
+        marking, cycles, events = state[0], state[1], state[2]
+        ticks = state[3] if len(state) > 3 else 0
         row = int(self.add_instances(1)[0])
         vector = np.array(list(marking), dtype=np.int64)
         self._markings[row] = vector
         self._cycles[row] = cycles
+        self._ticks[row] = ticks
         self._events[row] = events
         if self._memo_active:
             self._state_of_row[row] = self._intern_state(vector)
@@ -584,6 +635,8 @@ class FleetEngine:
             )
 
         self._cycles[rows] += self._c_cycles[cascade_ids]
+        if self._timed:
+            self._ticks[rows] += self._c_ticks[cascade_ids]
         self._events[rows] += 1
         self._state_of_row[rows] = self._c_end[cascade_ids]
         unique_cascades, counts = np.unique(cascade_ids, return_counts=True)
@@ -656,6 +709,7 @@ class FleetEngine:
             for name in (
                 "_c_end",
                 "_c_cycles",
+                "_c_ticks",
                 "_c_body",
                 "_c_queue",
                 "_c_act_total",
@@ -673,6 +727,9 @@ class FleetEngine:
                 setattr(self, name, grown)
         self._c_end[cascade_id] = state if bad else self._intern_state(marking)
         self._c_cycles[cascade_id] = cycles
+        # integer matmul == the direct loop's per-firing accumulation,
+        # so memoized replay stays byte-identical on the timed axis too
+        self._c_ticks[cascade_id] = int(fired @ self._tick_vector)
         self._c_body[cascade_id] = body
         self._c_queue[cascade_id] = queue
         self._c_act_total[cascade_id] = activation_total
@@ -713,6 +770,8 @@ class FleetEngine:
                 f"transition {name!r} is not enabled in instance {int(bad)}"
             )
         self._cycles[rows] += activation + fire_cycles[src_ids]
+        if self._timed:
+            self._ticks[rows] += self._tick_vector[src_ids]
         np.add.at(self._activation_counts, src_modules, 1)
         self._activation_total += activation * count
         markings[rows] += incidence[src_ids]
@@ -751,6 +810,8 @@ class FleetEngine:
             current_module[active] = modules
             markings[sub_rows] += incidence[chosen]
             self._cycles[sub_rows] += fire_cycles[chosen]
+            if self._timed:
+                self._ticks[sub_rows] += self._tick_vector[chosen]
             np.add.at(self._fire_counts, chosen, 1)
             self._body_total += int(fire_cycles[chosen].sum())
             firings[active] += 1
@@ -775,6 +836,10 @@ class FleetEngine:
             self._activation_total + self._body_total + self._queue_total
         )
         stats.budget_stops = self._budget_stops
+        if self._timed:
+            # total delay is a pure function of the firing counts, so
+            # the aggregate needs no separate accumulator
+            stats.delay_ticks = int(self._fire_counts @ self._tick_vector)
         stats.activations = {
             self._module_names[m]: int(c)
             for m, c in enumerate(self._activation_counts)
@@ -793,6 +858,12 @@ class FleetEngine:
     def instance_events(self) -> np.ndarray:
         return self._events[: self._n].copy()
 
+    def instance_ticks(self) -> Optional[np.ndarray]:
+        """Per-instance delay totals (``None`` when untimed)."""
+        if not self._timed:
+            return None
+        return self._ticks[: self._n].copy()
+
     def result(
         self, engine: str = ENGINE_COMPILED, elapsed_seconds: float = 0.0
     ) -> FleetResult:
@@ -803,6 +874,7 @@ class FleetEngine:
             instance_events=self.instance_events(),
             engine=engine,
             elapsed_seconds=elapsed_seconds,
+            instance_ticks=self.instance_ticks(),
         )
 
 
@@ -838,12 +910,14 @@ class FleetSimulator:
         max_firings_per_event: int = 100_000,
         engine: str = ENGINE_COMPILED,
         on_budget: str = "error",
+        timing: Optional[TimingModel] = None,
     ) -> None:
         self.engine = validate_engine(engine)
         self.on_budget = validate_budget_policy(on_budget)
         self.assignment = assignment
         self.cost = cost_model or CostModel()
         self.max_firings_per_event = max_firings_per_event
+        self.timing = timing
         compiled = net if isinstance(net, CompiledNet) else None
         self._net: Optional[PetriNet] = None if compiled is not None else net
         # the legacy engine never touches the kernel, so it skips both
@@ -855,6 +929,7 @@ class FleetSimulator:
                 cost_model=self.cost,
                 max_firings_per_event=max_firings_per_event,
                 on_budget=self.on_budget,
+                timing=timing,
             )
             self.cnet: Optional[CompiledNet] = self.kernel.cnet
         else:
@@ -895,6 +970,7 @@ class FleetSimulator:
     def _run_legacy(self, streams: Sequence[Sequence[Event]]) -> FleetResult:
         aggregate = ExecutionStats()
         cycles = np.zeros(len(streams), dtype=np.int64)
+        ticks = np.zeros(len(streams), dtype=np.int64)
         events = np.zeros(len(streams), dtype=np.int64)
         simulator = ReactiveNetSimulator(
             self.net,
@@ -903,11 +979,13 @@ class FleetSimulator:
             max_firings_per_event=self.max_firings_per_event,
             engine=ENGINE_LEGACY,
             on_budget=self.on_budget,
+            timing=self.timing,
         )
         for i, stream in enumerate(streams):
             simulator.reset()
             stats = simulator.run(stream)
             cycles[i] = stats.total_cycles
+            ticks[i] = stats.delay_ticks
             events[i] = stats.events_processed
             aggregate.merge(stats)
         return FleetResult(
@@ -915,6 +993,7 @@ class FleetSimulator:
             instance_cycles=cycles,
             instance_events=events,
             engine=self.engine,
+            instance_ticks=ticks if self.timing is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -971,6 +1050,7 @@ class FleetSimulator:
                 self.max_firings_per_event,
                 self.engine,
                 self.on_budget,
+                self.timing,
                 chunk,
             )
             for chunk in chunks
@@ -990,15 +1070,29 @@ class FleetSimulator:
                 [part.instance_events for part in parts]
             ),
             engine=self.engine,
+            instance_ticks=(
+                np.concatenate([part.instance_ticks for part in parts])
+                if self.timing is not None
+                else None
+            ),
         )
 
 
 def _run_fleet_chunk(
-    payload: Tuple[str, Dict[str, str], CostModel, int, str, str, List[Sequence[Event]]]
+    payload: Tuple[
+        str,
+        Dict[str, str],
+        CostModel,
+        int,
+        str,
+        str,
+        Optional[TimingModel],
+        List[Sequence[Event]],
+    ]
 ) -> FleetResult:  # pragma: no cover - executed inside pool workers
     from ..petrinet.serialization import net_from_json
 
-    net_json, modules, cost, max_firings, engine, on_budget, streams = payload
+    net_json, modules, cost, max_firings, engine, on_budget, timing, streams = payload
     simulator = FleetSimulator(
         net_from_json(net_json),
         ModuleAssignment(modules=modules),
@@ -1006,6 +1100,7 @@ def _run_fleet_chunk(
         max_firings_per_event=max_firings,
         engine=engine,
         on_budget=on_budget,
+        timing=timing,
     )
     return simulator.run(streams)
 
@@ -1019,27 +1114,38 @@ def synthetic_streams(
     events_per_instance: int,
     seed: int = 0,
     mean_interval: float = 1.0,
+    arrival: str = "exponential",
+    choice_policy: Optional[StochasticChoicePolicy] = None,
 ) -> List[List[Event]]:
     """Reproducible per-instance event streams for an arbitrary net.
 
-    Every source transition of the net emits events with exponential
-    inter-arrival times; the per-instance streams are merged in time
-    order and truncated to ``events_per_instance``, and every event
-    carries choice resolutions drawn uniformly over each choice place's
-    successors from a per-instance seeded
-    :class:`~repro.runtime.events.ChoiceSampler`.  Used by the corpus
-    runtime sweep and the differential suite; nets without source
-    transitions yield empty streams.  The streams are fully determined
-    by the arguments — identical across processes and platforms
-    (`tests/test_service_differential.py` pins this, because the
-    service's process-backed shards rely on it).
+    Every source transition of the net emits events through the chosen
+    arrival process (``"exponential"`` — the historical default — or the
+    ``"bursty"`` / ``"diurnal"`` processes of
+    :mod:`repro.runtime.events`); the per-instance streams are merged in
+    time order and truncated to ``events_per_instance``, and every event
+    carries choice resolutions drawn from a per-instance seeded
+    :class:`~repro.runtime.events.ChoiceSampler` — uniformly over each
+    choice place's successors by default, or from the weighted odds of
+    ``choice_policy``.  Used by the corpus runtime sweep and the
+    differential suites; nets without source transitions yield empty
+    streams.  The streams are fully determined by the arguments —
+    identical across processes and platforms
+    (`tests/test_service_differential.py` pins the default path,
+    `tests/test_stochastic_determinism.py` the new arrival processes and
+    weighted policies, because the service's process-backed shards rely
+    on it).
     """
+    validate_arrival(arrival)
     named = net.decompile() if isinstance(net, CompiledNet) else net
     sources = named.source_transitions()
-    probabilities = {
-        place: {t: 1.0 for t in named.postset_names(place)}
-        for place in named.choice_places()
-    }
+    if choice_policy is not None:
+        probabilities = choice_policy.probabilities
+    else:
+        probabilities = {
+            place: {t: 1.0 for t in named.postset_names(place)}
+            for place in named.choice_places()
+        }
     streams: List[List[Event]] = []
     for i in range(instances):
         if not sources:
@@ -1047,7 +1153,8 @@ def synthetic_streams(
             continue
         base = seed * 1_000_003 + i * 7_919
         per_source = [
-            irregular_events(
+            arrival_events(
+                arrival,
                 source,
                 mean_interval=mean_interval,
                 count=events_per_instance,

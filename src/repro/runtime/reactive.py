@@ -45,6 +45,7 @@ from ..petrinet.exceptions import NotEnabledError
 from .cost import CostModel
 from .events import Event
 from .rtos import ExecutionStats
+from .stochastic import TimingModel
 
 #: What to do when an event's run-to-completion processing exceeds
 #: ``max_firings_per_event``: ``"error"`` raises (the historical
@@ -135,6 +136,11 @@ class ReactiveNetSimulator:
         ``"error"`` (default) raises :class:`RuntimeError` when an event
         exceeds ``max_firings_per_event``; ``"stop"`` abandons the event
         and counts it in ``ExecutionStats.budget_stops``.
+    timing:
+        Optional :class:`~repro.runtime.stochastic.TimingModel` charging
+        an integer tick delay per firing into
+        ``ExecutionStats.delay_ticks``.  Both engines charge identical
+        ticks (the stochastic differential suite pins this).
     """
 
     def __init__(
@@ -145,12 +151,14 @@ class ReactiveNetSimulator:
         max_firings_per_event: int = 100_000,
         engine: str = ENGINE_COMPILED,
         on_budget: str = "error",
+        timing: Optional[TimingModel] = None,
     ) -> None:
         self.engine = validate_engine(engine)
         self.on_budget = validate_budget_policy(on_budget)
         self.assignment = assignment
         self.cost = cost_model or CostModel()
         self.max_firings_per_event = max_firings_per_event
+        self.timing = timing
         if isinstance(net, CompiledNet):
             self.net = net.decompile()
             self._cnet: Optional[CompiledNet] = net
@@ -187,6 +195,12 @@ class ReactiveNetSimulator:
         )
         self._has_preset: Tuple[bool, ...] = tuple(
             bool(pairs) for pairs in cnet.pre_lists
+        )
+        # per transition id: the tick delay one firing charges (all zero
+        # when untimed, so the charge below is branch-free)
+        timing = self.timing
+        self._tick_table: Tuple[int, ...] = tuple(
+            timing.ticks_of(name) if timing else 0 for name in cnet.transitions
         )
 
     # -- state ---------------------------------------------------------------
@@ -271,6 +285,8 @@ class ReactiveNetSimulator:
         # code's control tests
         cost += self.cost.test_cycles
         stats.record_body(cost, [transition])
+        if self.timing is not None:
+            stats.record_delay(self.timing.ticks_of(transition))
 
     def _process_event_compiled(self, event: Event, stats: ExecutionStats) -> None:
         cnet = self._cnet
@@ -348,6 +364,8 @@ class ReactiveNetSimulator:
         for p_id, delta in cnet.delta_lists[t_id]:
             vector[p_id] += delta
         stats.record_body(self._fire_cycles[t_id], (cnet.transitions[t_id],))
+        if self.timing is not None:
+            stats.record_delay(self._tick_table[t_id])
 
     def run(self, events: Sequence[Event]) -> ExecutionStats:
         stats = ExecutionStats()

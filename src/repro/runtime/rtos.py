@@ -55,6 +55,12 @@ class ExecutionStats:
     budget_stops:
         Number of events abandoned by the ``on_budget="stop"`` policy of
         the reactive/fleet simulators (always 0 under ``"error"``).
+    delay_ticks:
+        Total timed firing delay charged by a
+        :class:`~repro.runtime.stochastic.TimingModel` (always 0 for
+        untimed runs).  Ticks are a separate axis from cycles: cycles
+        model the cost structure the paper measures, ticks the timed
+        workload realism layered on top.
     """
 
     total_cycles: int = 0
@@ -65,6 +71,7 @@ class ExecutionStats:
     firings: Dict[str, int] = field(default_factory=dict)
     events_processed: int = 0
     budget_stops: int = 0
+    delay_ticks: int = 0
 
     def record_activation(self, task: str, overhead: int) -> None:
         self.activations[task] = self.activations.get(task, 0) + 1
@@ -81,6 +88,9 @@ class ExecutionStats:
         self.queue_cycles += cycles
         self.total_cycles += cycles
 
+    def record_delay(self, ticks: int) -> None:
+        self.delay_ticks += ticks
+
     def merge(self, other: "ExecutionStats") -> None:
         """Accumulate ``other`` into this stats object (fleet aggregation)."""
         self.total_cycles += other.total_cycles
@@ -89,6 +99,7 @@ class ExecutionStats:
         self.queue_cycles += other.queue_cycles
         self.events_processed += other.events_processed
         self.budget_stops += other.budget_stops
+        self.delay_ticks += other.delay_ticks
         for task, count in other.activations.items():
             self.activations[task] = self.activations.get(task, 0) + count
         for transition, count in other.firings.items():
@@ -109,6 +120,8 @@ class ExecutionStats:
         ]
         if self.budget_stops:
             lines.append(f"  budget stops   : {self.budget_stops}")
+        if self.delay_ticks:
+            lines.append(f"  delay ticks    : {self.delay_ticks}")
         for task, count in sorted(self.activations.items()):
             lines.append(f"  activations[{task}] = {count}")
         return "\n".join(lines)

@@ -52,6 +52,7 @@ from ..runtime.cost import CostModel
 from ..runtime.fleet import FleetEngine, FleetResult
 from ..runtime.reactive import ModuleAssignment, validate_budget_policy
 from ..runtime.rtos import ExecutionStats
+from ..runtime.stochastic import TimingModel
 from .messages import (
     Ack,
     InjectBatch,
@@ -97,6 +98,7 @@ class FleetSupervisor:
         inbox_limit: int = DEFAULT_INBOX_LIMIT,
         rebalance_interval: Optional[float] = None,
         rebalance_threshold: int = 64,
+        timing: Optional[TimingModel] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be positive")
@@ -108,6 +110,7 @@ class FleetSupervisor:
         self.cost = cost_model or CostModel()
         self.max_firings_per_event = max_firings_per_event
         self.on_budget = validate_budget_policy(on_budget)
+        self.timing = timing
         self.shards = shards
         self.inbox_limit = inbox_limit
         self.rebalance_interval = rebalance_interval
@@ -153,6 +156,7 @@ class FleetSupervisor:
                     cost_model=self.cost,
                     max_firings_per_event=self.max_firings_per_event,
                     on_budget=self.on_budget,
+                    timing=self.timing,
                 )
                 actor = ShardActor(shard_id, engine, inbox_limit=self.inbox_limit)
                 self._actors.append(actor)
@@ -178,6 +182,7 @@ class FleetSupervisor:
                     self.cost,
                     self.max_firings_per_event,
                     self.on_budget,
+                    self.timing,
                 )
                 await handle.start()
                 self._handles.append(handle)
@@ -354,25 +359,37 @@ def _merge_results(
 ) -> FleetResult:
     """Merge per-shard results into one fleet result ordered by key."""
     aggregate = ExecutionStats()
-    keyed: List[Tuple[int, int, int]] = []
+    keyed: List[Tuple[int, int, int, int]] = []
+    timed = any(result.instance_ticks is not None for _, result in parts)
     for keys, result in parts:
         aggregate.merge(result.stats)
+        ticks = (
+            result.instance_ticks.tolist()
+            if result.instance_ticks is not None
+            else [0] * len(keys)
+        )
         keyed.extend(
             zip(
                 keys,
                 result.instance_cycles.tolist(),
                 result.instance_events.tolist(),
+                ticks,
             )
         )
     keyed.sort()
-    cycles = np.array([c for _, c, _ in keyed], dtype=np.int64)
-    events = np.array([e for _, _, e in keyed], dtype=np.int64)
+    cycles = np.array([c for _, c, _, _ in keyed], dtype=np.int64)
+    events = np.array([e for _, _, e, _ in keyed], dtype=np.int64)
     return FleetResult(
         stats=aggregate,
         instance_cycles=cycles,
         instance_events=events,
         engine=ENGINE_COMPILED,
         elapsed_seconds=elapsed,
+        instance_ticks=(
+            np.array([t for _, _, _, t in keyed], dtype=np.int64)
+            if timed
+            else None
+        ),
     )
 
 
@@ -397,9 +414,10 @@ class _ProcessShardHandle:
         cost: CostModel,
         max_firings: int,
         on_budget: str,
+        timing: Optional[TimingModel] = None,
     ) -> None:
         self.shard_id = shard_id
-        self._spec = (net_json, modules, cost, max_firings, on_budget)
+        self._spec = (net_json, modules, cost, max_firings, on_budget, timing)
         self._process: Optional["object"] = None
         self._conn = None
         self._pending: Deque["asyncio.Future"] = deque()
@@ -474,6 +492,7 @@ def _shard_worker(
     cost: CostModel,
     max_firings: int,
     on_budget: str,
+    timing: Optional[TimingModel],
 ) -> None:  # pragma: no cover - runs inside the worker process
     """Synchronous shard loop: drain the pipe into a ShardCore."""
     from ..petrinet.serialization import net_from_json
@@ -484,6 +503,7 @@ def _shard_worker(
         cost_model=cost,
         max_firings_per_event=max_firings,
         on_budget=on_budget,
+        timing=timing,
     )
     core = ShardCore(shard_id, engine)
     while True:

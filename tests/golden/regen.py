@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden files under ``tests/golden/``.
+
+The goldens pin the observable behaviour of the stochastic workload
+layer and the corpus pipeline:
+
+* ``corpus_properties.json`` / ``corpus_qss.json`` /
+  ``corpus_runtime.json`` — canonicalized ``repro-qss.corpus/3``
+  documents (wall-clock fields zeroed, workers pinned, summary
+  recomputed; see
+  :func:`repro.petrinet.corpus_schema.canonicalize_corpus_document`),
+  one per analysis mode.
+* ``workload_digests.json`` — SHA-256 digests of the generated event
+  streams (application testbenches and every arrival process) plus the
+  tick totals of a timed fleet run, so a change to any seeded stream or
+  to the timing accounting shows up as a one-line diff.
+
+``tests/test_golden_corpus.py`` regenerates everything into a temp
+directory and diffs it against the committed files; when it fails after
+an intentional behaviour change, refresh the goldens with::
+
+    python tests/golden/regen.py
+
+and commit the result.  ``--out DIR`` writes elsewhere (the freshness
+test uses it); ``--check`` diffs against the committed files instead of
+writing, exiting 1 on any mismatch (the CI golden-freshness gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(GOLDEN_DIR.parents[1] / "src"))
+
+#: The three golden corpora: small, fast, and spread over the analysis
+#: modes.  The runtime corpus pins the two new application families.
+CORPORA = {
+    "corpus_properties.json": {
+        "n": 8,
+        "seed": 7,
+        "families": None,
+        "analyse": "properties",
+    },
+    "corpus_qss.json": {"n": 10, "seed": 11, "families": None, "analyse": "qss"},
+    "corpus_runtime.json": {
+        "n": 4,
+        "seed": 3,
+        "families": ["router", "heating"],
+        "analyse": "runtime",
+    },
+}
+
+GOLDEN_FILES = tuple(sorted(CORPORA)) + ("workload_digests.json",)
+
+
+def _build_corpus(params):
+    from repro.petrinet.corpus import (
+        corpus_to_json_dict,
+        generate_corpus,
+        run_corpus,
+    )
+    from repro.petrinet.corpus_schema import canonicalize_corpus_document
+
+    specs = generate_corpus(
+        params["n"], seed=params["seed"], families=params["families"]
+    )
+    result = run_corpus(specs, analyse=params["analyse"])
+    return canonicalize_corpus_document(corpus_to_json_dict(result))
+
+
+def _stream_digest(streams):
+    blob = "\n".join(repr(e) for stream in streams for e in stream)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _build_workload_digests():
+    from repro.apps import atm, heating, router
+    from repro.runtime import (
+        ARRIVAL_PROCESSES,
+        FleetSimulator,
+        ModuleAssignment,
+        parse_timing,
+        synthetic_streams,
+    )
+
+    apps = {
+        "atm": (atm.build_atm_server_net, atm.make_fleet_testbench),
+        "router": (router.build_router_net, router.make_fleet_testbench),
+        "heating": (heating.build_heating_net, heating.make_fleet_testbench),
+    }
+    doc = {"schema": "repro-qss.golden-digests/1", "fleet_streams": {}}
+    for name, (build, bench) in sorted(apps.items()):
+        doc["fleet_streams"][name] = _stream_digest(bench(4, 12, seed=2026))
+
+    router_net = router.build_router_net()
+    doc["synthetic_streams"] = {
+        arrival: _stream_digest(
+            synthetic_streams(router_net, 3, 8, seed=5, arrival=arrival)
+        )
+        for arrival in ARRIVAL_PROCESSES
+    }
+
+    # a timed fleet run: total and per-instance tick accounting
+    timing = parse_timing("uniform:1-8", router_net, seed=5)
+    fleet = FleetSimulator(
+        router_net,
+        ModuleAssignment.from_groups(router.MODULE_PARTITION),
+        timing=timing,
+    )
+    result = fleet.run(bench(4, 12, seed=2026))
+    doc["timed_fleet"] = {
+        "family": "router",
+        "timing": "uniform:1-8",
+        "events": int(result.stats.events_processed),
+        "delay_ticks": int(result.stats.delay_ticks),
+        "instance_ticks": [int(t) for t in result.instance_ticks],
+    }
+    return doc
+
+
+def generate_goldens():
+    """Build every golden document, keyed by file name."""
+    docs = {name: _build_corpus(params) for name, params in CORPORA.items()}
+    docs["workload_digests.json"] = _build_workload_digests()
+    return docs
+
+
+def render(doc) -> str:
+    return json.dumps(doc, indent=2, sort_keys=False) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(GOLDEN_DIR),
+        help="directory to write the goldens into (default: tests/golden/)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed goldens instead of writing; "
+        "exit 1 and print a unified summary of stale files on mismatch",
+    )
+    args = parser.parse_args(argv)
+    docs = generate_goldens()
+    if args.check:
+        stale = []
+        for name, doc in sorted(docs.items()):
+            committed = GOLDEN_DIR / name
+            if not committed.exists():
+                stale.append(f"{name}: missing")
+            elif committed.read_text(encoding="utf-8") != render(doc):
+                stale.append(f"{name}: stale")
+        if stale:
+            print("\n".join(stale), file=sys.stderr)
+            print(
+                "golden files out of date; regenerate with: "
+                "python tests/golden/regen.py",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{len(docs)} golden file(s) up to date")
+        return 0
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name, doc in sorted(docs.items()):
+        (out_dir / name).write_text(render(doc), encoding="utf-8")
+        print(f"wrote {out_dir / name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -284,7 +284,7 @@ class TestServeValidation:
             (["--family", "warp_drive"], "unknown family"),
             (
                 ["--family", "pipeline", "--partition", "modules"],
-                "specific to the ATM server",
+                "needs an application family",
             ),
             (["--family", "atm:cells=3"], "takes no"),
             (

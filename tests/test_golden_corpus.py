@@ -1,0 +1,67 @@
+"""Golden-freshness gate: the committed goldens match a fresh regen.
+
+``tests/golden/regen.py`` regenerates every golden document into a temp
+directory; this test diffs that output byte-for-byte against the files
+committed under ``tests/golden/``.  A failure means either an
+unintentional behaviour change in the stochastic workload layer or the
+corpus pipeline (fix the regression), or an intentional one — in which
+case refresh the goldens with ``python tests/golden/regen.py`` and
+commit the diff.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = GOLDEN_DIR / "regen.py"
+REGEN_COMMAND = "python tests/golden/regen.py"
+
+
+def run_regen(*extra_args):
+    return subprocess.run(
+        [sys.executable, str(REGEN), *extra_args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestGoldenFreshness:
+    def test_committed_goldens_match_fresh_regen(self, tmp_path):
+        proc = run_regen("--out", str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        fresh = sorted(p.name for p in tmp_path.glob("*.json"))
+        committed = sorted(p.name for p in GOLDEN_DIR.glob("*.json"))
+        assert fresh == committed, (
+            f"golden file set drifted (fresh {fresh} vs committed "
+            f"{committed}); refresh with: {REGEN_COMMAND}"
+        )
+        stale = [
+            name
+            for name in fresh
+            if (tmp_path / name).read_bytes() != (GOLDEN_DIR / name).read_bytes()
+        ]
+        assert not stale, (
+            f"committed golden(s) {', '.join(stale)} do not match a fresh "
+            f"regeneration; if the behaviour change is intentional, refresh "
+            f"them with: {REGEN_COMMAND}"
+        )
+
+    def test_check_mode_agrees(self):
+        proc = run_regen("--check")
+        assert proc.returncode == 0, (
+            f"{proc.stdout}{proc.stderr}\nrefresh with: {REGEN_COMMAND}"
+        )
+        assert "up to date" in proc.stdout
+
+    def test_check_mode_message_names_regen_command(self):
+        # the actionable-failure contract: when goldens are stale the
+        # operator is told exactly what to run (forced here by checking
+        # against an empty "committed" view via a doctored module copy
+        # being overkill — instead assert the command string is baked
+        # into the check-mode failure text in the source)
+        source = REGEN.read_text(encoding="utf-8")
+        assert REGEN_COMMAND in source

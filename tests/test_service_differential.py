@@ -219,8 +219,12 @@ class TestInstanceMigration:
         row = other.import_instance(state)
         assert other.instance_cycles()[row] == state[1]
         assert other.instance_events()[row] == state[2]
-        marking, _, _ = state
+        marking, _, _, ticks = state
         assert other.export_instance(row)[0] == marking
+        # pre-timing 3-tuple snapshots still import (ticks default to 0)
+        legacy_row = other.import_instance(state[:3])
+        assert other.export_instance(legacy_row)[3] == 0
+        assert ticks == 0  # untimed run charges no delay
 
     def test_remove_instance_swaps_last_row(self):
         net, assignment, _ = atm_case(instances=1, cells=1)
