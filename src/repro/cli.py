@@ -361,6 +361,13 @@ def _validate_serve_args(
             "process pool; use --shards (and --backend process) for the "
             "always-on service"
         )
+    if args.inbox_limit is not None and args.inbox_limit <= 0:
+        parser.error("argument --inbox-limit: must be positive")
+    if args.inbox_limit is not None and not service_mode:
+        parser.error(
+            "argument --inbox-limit: only meaningful in service mode "
+            "(use --shards, --listen or --telemetry)"
+        )
     if args.duration is not None and args.duration <= 0:
         parser.error("argument --duration: must be positive")
     if args.duration is not None and args.listen is None:
@@ -409,6 +416,7 @@ async def _serve_service(
     import time as time_mod
 
     from .service import (
+        DEFAULT_INBOX_LIMIT,
         TELEMETRY_SCHEMA,
         FleetSupervisor,
         IngestServer,
@@ -419,7 +427,16 @@ async def _serve_service(
 
     shards = args.shards or 1
     supervisor = FleetSupervisor(
-        net, assignment, shards=shards, backend=args.backend, timing=timing
+        net,
+        assignment,
+        shards=shards,
+        backend=args.backend,
+        inbox_limit=(
+            args.inbox_limit
+            if args.inbox_limit is not None
+            else DEFAULT_INBOX_LIMIT
+        ),
+        timing=timing,
     )
     await supervisor.start()
     started = time_mod.monotonic()
@@ -467,6 +484,7 @@ async def _serve_service(
         last_events["aggregate"] = snapshot.events
         for record in records:
             telemetry.emit(record)
+        telemetry.flush()  # one buffered write per sampling tick
 
     async def sampler() -> None:
         while True:
@@ -873,6 +891,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="async",
         help="shard backend for service mode: asyncio tasks in-process "
         "(default) or one multiprocessing worker per shard",
+    )
+    p_serve.add_argument(
+        "--inbox-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bounded shard-inbox capacity in messages (default 1024); "
+        "producers suspend while a shard's inbox is full — this is the "
+        "service's backpressure knob (smaller = tighter latency bound, "
+        "larger = more burst absorption)",
     )
     p_serve.add_argument(
         "--listen",

@@ -28,7 +28,13 @@ from .events import (
     validate_arrival,
     with_choices,
 )
-from .fleet import FleetEngine, FleetResult, FleetSimulator, synthetic_streams
+from .fleet import (
+    FleetEngine,
+    FleetResult,
+    FleetSimulator,
+    SignatureTable,
+    synthetic_streams,
+)
 from .reactive import (
     BUDGET_POLICIES,
     ModuleAssignment,
@@ -66,6 +72,7 @@ __all__ = [
     "FleetSimulator",
     "FleetEngine",
     "FleetResult",
+    "SignatureTable",
     "synthetic_streams",
     "TimingModel",
     "StochasticChoicePolicy",

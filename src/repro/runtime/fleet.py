@@ -166,6 +166,95 @@ MEMO_STATE_LIMIT = 65_536
 MEMO_MAX_FLUSHES = 2
 
 
+class SignatureTable:
+    """Interned choice-resolution signatures over one compiled net.
+
+    Signatures depend only on the net, so one table can back any number
+    of :class:`FleetEngine` instances of the same ``CompiledNet`` — the
+    sharded service interns each event *once* at the ingest boundary
+    and every shard kernel consumes the resulting integer ids directly.
+
+    Two-level scheme: the **raw** index caches insertion-order
+    ``choices.items()`` tuples so the steady-state lookup skips the
+    per-event sort; the **canonical** index keys sorted tuples so
+    equivalent resolutions share one id.  Ids are assigned densely in
+    canonical-creation order, which makes the table replicable: feeding
+    :meth:`definitions` to another table's :meth:`intern` in order
+    yields the same ids (how the process-backed shards stay in sync
+    with their supervisor across pipes).
+    """
+
+    def __init__(self, cnet: CompiledNet) -> None:
+        self.cnet = cnet
+        n_t = len(cnet.transitions)
+        # successor transition ids per choice place id, for the per-event
+        # "allowed" masks
+        successors: Dict[int, List[int]] = {}
+        for t_id, pairs in enumerate(cnet.pre_lists):
+            for p_id, _w in pairs:
+                successors.setdefault(p_id, []).append(t_id)
+        self._choice_successors: Dict[int, np.ndarray] = {
+            p_id: np.array(t_ids, dtype=np.int64)
+            for p_id, t_ids in successors.items()
+            if len(t_ids) > 1
+        }
+        # signature id 0 is the empty resolution (allowed = everything)
+        self._index: Dict[Tuple[Tuple[str, str], ...], int] = {(): 0}
+        self._raw_index: Dict[Tuple[Tuple[str, str], ...], int] = {(): 0}
+        self._signatures: List[Tuple[Tuple[str, str], ...]] = [()]
+        self.allowed = np.ones((4, n_t), dtype=bool)
+        self.count = 1
+
+    def intern_raw(self, raw: Tuple[Tuple[str, str], ...]) -> int:
+        """Intern an insertion-order ``choices.items()`` tuple."""
+        sig_id = self._raw_index.get(raw)
+        if sig_id is None:
+            sig_id = self.intern(tuple(sorted(raw)))
+            self._raw_index[raw] = sig_id
+        return sig_id
+
+    def intern(self, signature: Tuple[Tuple[str, str], ...]) -> int:
+        """Intern one canonical (sorted) signature, returning its id.
+
+        The allowed row deselects every transition whose preset contains
+        a choice place that resolved to a *different* successor — the
+        same filter :class:`ReactiveNetSimulator` applies per transition.
+        """
+        sig_id = self._index.get(signature)
+        if sig_id is not None:
+            return sig_id
+        transition_index = self.cnet.transition_index
+        place_index = self.cnet.place_index
+        allowed = np.ones(len(self.cnet.transitions), dtype=bool)
+        for place, chosen in signature:
+            p_id = place_index.get(place)
+            if p_id is None:
+                continue
+            candidates = self._choice_successors.get(p_id)
+            if candidates is None:
+                continue
+            chosen_id = transition_index.get(chosen, -1)
+            allowed[candidates[candidates != chosen_id]] = False
+        sig_id = self.count
+        if sig_id >= len(self.allowed):
+            grown = np.ones(
+                (2 * len(self.allowed), len(self.cnet.transitions)), dtype=bool
+            )
+            grown[: len(self.allowed)] = self.allowed
+            self.allowed = grown
+        self.allowed[sig_id] = allowed
+        self._index[signature] = sig_id
+        self._signatures.append(signature)
+        self.count += 1
+        return sig_id
+
+    def definitions(
+        self, start: int = 0, end: Optional[int] = None
+    ) -> List[Tuple[Tuple[str, str], ...]]:
+        """Canonical signatures ``start..end`` in id order (replication)."""
+        return self._signatures[start : self.count if end is None else end]
+
+
 class FleetEngine:
     """The pure fleet stepping kernel: N instances of one compiled net.
 
@@ -191,6 +280,11 @@ class FleetEngine:
     memo:
         ``True`` (default) enables the cascade memo; ``False`` forces
         the direct batched loop (the cross-check path).
+    signatures:
+        Optional shared :class:`SignatureTable`.  The sharded service
+        passes one table to every shard engine so events interned once
+        at the ingest boundary are directly dispatchable on any shard;
+        by default each engine owns a private table.
     timing:
         Optional :class:`~repro.runtime.stochastic.TimingModel`.  Timed
         runs track an extra per-instance integer tick total; the memo
@@ -209,6 +303,7 @@ class FleetEngine:
         instances: int = 0,
         memo: bool = True,
         timing: Optional[TimingModel] = None,
+        signatures: Optional[SignatureTable] = None,
     ) -> None:
         self.on_budget = validate_budget_policy(on_budget)
         self.assignment = assignment
@@ -218,6 +313,12 @@ class FleetEngine:
         self.cnet: CompiledNet = (
             net if isinstance(net, CompiledNet) else compile_net(net)
         )
+        if signatures is not None and signatures.cnet is not self.cnet:
+            raise ValueError(
+                "shared SignatureTable must be built over the engine's "
+                "own CompiledNet"
+            )
+        self.signatures = signatures or SignatureTable(self.cnet)
         self._memo_enabled = memo
         self._prepare_tables()
         self._init_memo_tables()
@@ -258,32 +359,12 @@ class FleetEngine:
             if self.timing is not None
             else np.zeros(n_t, dtype=np.int64)
         )
-        # successor transition ids per choice place id, for the per-event
-        # "allowed" masks
-        successors: Dict[int, List[int]] = {}
-        for t_id, pairs in enumerate(cnet.pre_lists):
-            for p_id, _w in pairs:
-                successors.setdefault(p_id, []).append(t_id)
-        self._choice_successors: Dict[int, np.ndarray] = {
-            p_id: np.array(t_ids, dtype=np.int64)
-            for p_id, t_ids in successors.items()
-            if len(t_ids) > 1
-        }
 
     # ------------------------------------------------------------------
-    # Memo tables: interned signatures, marking states and cascades
+    # Memo tables: marking states and cascades (signatures live in the
+    # possibly-shared SignatureTable and survive memo flushes)
     # ------------------------------------------------------------------
     def _init_memo_tables(self) -> None:
-        n_t = len(self.cnet.transitions)
-        # signature id 0 is the empty resolution (allowed = everything);
-        # signatures depend only on the net, so they survive memo flushes.
-        # the raw index caches *insertion-order* items() tuples so the hot
-        # path skips the per-event sort; the canonical index keys sorted
-        # tuples so equivalent resolutions share one id.
-        self._sig_index: Dict[Tuple[Tuple[str, str], ...], int] = {(): 0}
-        self._sig_raw_index: Dict[Tuple[Tuple[str, str], ...], int] = {(): 0}
-        self._sig_allowed = np.ones((4, n_t), dtype=bool)
-        self._sig_count = 1
         self._memo_flushes = 0
         self._clear_cascades()
 
@@ -307,37 +388,6 @@ class FleetEngine:
         self._c_bad = np.empty(cap, dtype=bool)  # source not enabled
         self._c_fired = np.empty((cap, n_t), dtype=np.int64)
         self._c_act = np.empty((cap, n_m), dtype=np.int64)
-
-    def _intern_signature(self, signature: Tuple[Tuple[str, str], ...]) -> int:
-        """Intern one choice-resolution signature, returning its id.
-
-        The allowed row deselects every transition whose preset contains
-        a choice place that resolved to a *different* successor — the
-        same filter :class:`ReactiveNetSimulator` applies per transition.
-        """
-        transition_index = self.cnet.transition_index
-        place_index = self.cnet.place_index
-        allowed = np.ones(len(self.cnet.transitions), dtype=bool)
-        for place, chosen in signature:
-            p_id = place_index.get(place)
-            if p_id is None:
-                continue
-            candidates = self._choice_successors.get(p_id)
-            if candidates is None:
-                continue
-            chosen_id = transition_index.get(chosen, -1)
-            allowed[candidates[candidates != chosen_id]] = False
-        sig_id = self._sig_count
-        if sig_id >= len(self._sig_allowed):
-            grown = np.ones(
-                (2 * len(self._sig_allowed), len(self.cnet.transitions)), dtype=bool
-            )
-            grown[: len(self._sig_allowed)] = self._sig_allowed
-            self._sig_allowed = grown
-        self._sig_allowed[sig_id] = allowed
-        self._sig_index[signature] = sig_id
-        self._sig_count += 1
-        return sig_id
 
     def _intern_state(self, marking: np.ndarray) -> int:
         key = marking.tobytes()
@@ -544,7 +594,9 @@ class FleetEngine:
         add_src = src_list.append
         add_sig = sig_list.append
         lookup_src = self.cnet.transition_index.get
-        lookup_sig = self._sig_raw_index.get
+        table = self.signatures
+        lookup_sig = table._raw_index.get
+        intern_raw = table.intern_raw
         for event in events:
             t_id = lookup_src(event.source)
             if t_id is None:
@@ -557,7 +609,7 @@ class FleetEngine:
                 raw = tuple(choices.items())
                 sig_id = lookup_sig(raw)
                 if sig_id is None:
-                    sig_id = self._intern_raw_signature(raw)
+                    sig_id = intern_raw(raw)
                 add_sig(sig_id)
             else:
                 add_sig(0)
@@ -565,14 +617,6 @@ class FleetEngine:
             np.array(src_list, dtype=np.int64),
             np.array(sig_list, dtype=np.int64),
         )
-
-    def _intern_raw_signature(self, raw: Tuple[Tuple[str, str], ...]) -> int:
-        signature = tuple(sorted(raw))
-        sig_id = self._sig_index.get(signature)
-        if sig_id is None:
-            sig_id = self._intern_signature(signature)
-        self._sig_raw_index[raw] = sig_id
-        return sig_id
 
     # -- memoized path -------------------------------------------------
     def _flush_memo(self) -> None:
@@ -608,7 +652,7 @@ class FleetEngine:
         state_ids = self._state_of_row[rows]
         # pack (state, src, sig) into one sortable key; spans are
         # per-round local, the cascade index itself is keyed by tuples
-        span_sig = self._sig_count
+        span_sig = self.signatures.count
         span_src = len(self.cnet.transitions)
         packed = (state_ids * span_src + src_ids) * span_sig + sig_ids
         unique_keys, inverse = np.unique(packed, return_inverse=True)
@@ -659,7 +703,7 @@ class FleetEngine:
         incidence = self.cnet.incidence
         fire_cycles = self._fire_cycles
         module_of = self._module_of
-        allowed = self._sig_allowed[sig] & self._nonsource
+        allowed = self.signatures.allowed[sig] & self._nonsource
         activation = self.cost.activation_cycles
         queue_round_trip = 2 * self.cost.queue_op_cycles
         budget = self.max_firings_per_event
@@ -758,7 +802,7 @@ class FleetEngine:
         budget = self.max_firings_per_event
         stop_on_budget = self.on_budget == "stop"
 
-        allowed = self._sig_allowed[sig_ids]
+        allowed = self.signatures.allowed[sig_ids]
 
         # dispatch: one activation per event, then fire the source
         src_modules = module_of[src_ids]

@@ -4,7 +4,10 @@ Layered on the :class:`~repro.runtime.fleet.FleetEngine` stepping
 kernel:
 
 - :mod:`~repro.service.messages` — frozen typed messages + the
-  versioned JSON wire codec every endpoint speaks.
+  versioned JSON wire codec every endpoint speaks, plus the internal
+  zero-copy representations: :class:`InjectBatchPacked` (pre-interned
+  int64 id columns) and the binary frame codec the process-backed
+  shards speak over their pipes.
 - :mod:`~repro.service.shard` — the shard actor: a bounded inbox
   draining into one kernel in vectorized batches.
 - :mod:`~repro.service.supervisor` — hash-sharded routing, async or
@@ -20,9 +23,14 @@ results equal to the one-shot batch path.
 
 from .ingest import IngestServer, LocalClient, ServiceClient, events_to_injects
 from .messages import (
+    FRAME_CONTROL,
+    FRAME_PACKED,
+    FRAME_RESULT,
+    FRAME_SCHEMA,
     WIRE_SCHEMA,
     Ack,
     InjectBatch,
+    InjectBatchPacked,
     InjectEvent,
     ProtocolError,
     Reload,
@@ -30,7 +38,11 @@ from .messages import (
     Shutdown,
     SnapshotReply,
     SnapshotRequest,
+    decode_frame,
     decode_message,
+    encode_frame_control,
+    encode_frame_packed,
+    encode_frame_result,
     encode_message,
 )
 from .shard import DEFAULT_INBOX_LIMIT, ShardActor, ShardCore
@@ -39,11 +51,16 @@ from .telemetry import TELEMETRY_SCHEMA, TelemetryWriter, validate_telemetry_rec
 
 __all__ = [
     "WIRE_SCHEMA",
+    "FRAME_SCHEMA",
+    "FRAME_CONTROL",
+    "FRAME_PACKED",
+    "FRAME_RESULT",
     "TELEMETRY_SCHEMA",
     "SERVICE_BACKENDS",
     "DEFAULT_INBOX_LIMIT",
     "Ack",
     "InjectBatch",
+    "InjectBatchPacked",
     "InjectEvent",
     "ProtocolError",
     "Reload",
@@ -53,6 +70,10 @@ __all__ = [
     "SnapshotRequest",
     "decode_message",
     "encode_message",
+    "decode_frame",
+    "encode_frame_control",
+    "encode_frame_packed",
+    "encode_frame_result",
     "FleetSupervisor",
     "validate_backend",
     "ShardActor",

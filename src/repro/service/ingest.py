@@ -27,6 +27,7 @@ from typing import List, Mapping, Optional, Sequence, Tuple
 from .messages import (
     Ack,
     InjectBatch,
+    InjectBatchPacked,
     InjectEvent,
     ProtocolError,
     Reload,
@@ -257,6 +258,19 @@ class LocalClient:
 
     async def inject_batch(self, events: Sequence[InjectEvent]) -> None:
         await self.supervisor.inject(InjectBatch(events=tuple(events)))
+
+    def pack(self, events: Sequence[InjectEvent]) -> InjectBatchPacked:
+        """Intern events into a packed batch once, reusable across injects.
+
+        The zero-copy fast lane: callers that replay the same workload
+        (benchmarks, load generators) pack outside their timed loop and
+        hand the id columns straight to :meth:`inject_packed`.
+        """
+        return self.supervisor.pack(events)
+
+    async def inject_packed(self, batch: InjectBatchPacked) -> None:
+        """Inject a pre-packed batch (see :meth:`pack`)."""
+        await self.supervisor.inject(batch)
 
     async def snapshot(self) -> SnapshotReply:
         return await self.supervisor.snapshot()

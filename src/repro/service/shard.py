@@ -32,10 +32,13 @@ import asyncio
 import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from ..runtime.events import Event
 from ..runtime.fleet import FleetEngine, FleetResult
 from .messages import (
     InjectBatch,
+    InjectBatchPacked,
     InjectEvent,
     Reload,
     ShardStats,
@@ -46,8 +49,13 @@ from .messages import (
 #: Default inbox capacity (messages, where one InjectBatch counts once).
 DEFAULT_INBOX_LIMIT = 1024
 
+#: Instance keys in ``[0, _DENSE_KEY_LIMIT)`` resolve to rows through a
+#: flat int64 gather (one vector op per packed batch); keys outside the
+#: range — negative or astronomically sparse — fall back to the dict.
+_DENSE_KEY_LIMIT = 1 << 24
+
 _ControlItem = Tuple[Union[SnapshotRequest, Reload, Shutdown], "asyncio.Future"]
-_InboxItem = Union[InjectEvent, InjectBatch, _ControlItem]
+_InboxItem = Union[InjectEvent, InjectBatch, InjectBatchPacked, _ControlItem]
 
 
 class ShardCore:
@@ -58,12 +66,97 @@ class ShardCore:
         self.engine = engine
         self._rows: Dict[int, int] = {}  # instance key -> engine row
         self._keys: List[int] = []  # engine row -> instance key
+        #: dense accelerator mirroring ``_rows`` for in-range keys; -1
+        #: marks unregistered.  Kept in sync by registration + migration.
+        self._dense_rows = np.full(1024, -1, dtype=np.int64)
         self._started = time.monotonic()
         self.events_served = 0
 
     # ------------------------------------------------------------------
+    # Registry plumbing (dict authoritative, dense gather accelerator)
+    # ------------------------------------------------------------------
+    def _dense_set(self, key: int, row: int) -> None:
+        if 0 <= key < _DENSE_KEY_LIMIT:
+            if key >= len(self._dense_rows):
+                grown = np.full(
+                    max(2 * len(self._dense_rows), key + 1), -1, dtype=np.int64
+                )
+                grown[: len(self._dense_rows)] = self._dense_rows
+                self._dense_rows = grown
+            self._dense_rows[key] = row
+
+    def _dense_del(self, key: int) -> None:
+        if 0 <= key < len(self._dense_rows):
+            self._dense_rows[key] = -1
+
+    def _register(self, keys: Sequence[int]) -> None:
+        """Register fresh instance keys (callers pre-filter known ones)."""
+        new_rows = self.engine.add_instances(len(keys))
+        for key, row in zip(keys, new_rows.tolist()):
+            self._rows[key] = row
+            self._keys.append(key)
+            self._dense_set(key, row)
+
+    def _rows_for_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized instance-key → engine-row map, registering fresh keys."""
+        kmin = int(keys.min())
+        kmax = int(keys.max())
+        if kmin < 0 or kmax >= _DENSE_KEY_LIMIT:
+            # out-of-range keys: the dict path, one lookup per event
+            rows_of = self._rows
+            fresh = [k for k in keys.tolist() if k not in rows_of]
+            if fresh:
+                self._register(list(dict.fromkeys(fresh)))
+            return np.array([rows_of[k] for k in keys.tolist()], dtype=np.int64)
+        if kmax >= len(self._dense_rows):
+            grown = np.full(
+                max(2 * len(self._dense_rows), kmax + 1), -1, dtype=np.int64
+            )
+            grown[: len(self._dense_rows)] = self._dense_rows
+            self._dense_rows = grown
+        rows = self._dense_rows[keys]
+        if (rows < 0).any():
+            self._register(np.unique(keys[rows < 0]).tolist())
+            rows = self._dense_rows[keys]
+        return rows
+
+    # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
+    def serve_packed(self, batch: InjectBatchPacked) -> int:
+        """Serve one packed batch: zero per-event Python objects.
+
+        Rows are resolved with one gather, per-instance event order is
+        preserved by grouping the batch into occurrence *rounds* (round
+        ``k`` carries the ``k``-th event of every instance present) and
+        each round is a single vectorized kernel dispatch.
+        """
+        count = len(batch)
+        if count == 0:
+            return 0
+        rows = self._rows_for_keys(np.asarray(batch.instances, dtype=np.int64))
+        sources = batch.sources
+        signatures = batch.signatures
+        engine = self.engine
+        # stable sort by row: each row's events stay in arrival order and
+        # form one contiguous run [starts[g], starts[g] + counts[g])
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows[order]
+        boundaries = np.empty(count, dtype=bool)
+        boundaries[0] = True
+        np.not_equal(sorted_rows[1:], sorted_rows[:-1], out=boundaries[1:])
+        starts = np.flatnonzero(boundaries)
+        counts = np.diff(np.append(starts, count))
+        max_rounds = int(counts.max())
+        if max_rounds == 1:
+            engine.dispatch_ids(rows, sources, signatures)
+        else:
+            for k in range(max_rounds):
+                sel = order[starts[counts > k] + k]
+                engine.dispatch_ids(rows[sel], sources[sel], signatures[sel])
+        self.events_served += count
+        return count
+
     def serve_injects(self, injects: Sequence[InjectEvent]) -> int:
         """Serve a batch of injects, vectorized, in per-instance order."""
         if not injects:
@@ -73,11 +166,7 @@ class ShardCore:
         fresh = [m.instance for m in injects if m.instance not in rows_of]
         if fresh:
             # preserve first-seen order, drop duplicates within the batch
-            unique = list(dict.fromkeys(fresh))
-            new_rows = engine.add_instances(len(unique))
-            for key, row in zip(unique, new_rows.tolist()):
-                rows_of[key] = row
-                self._keys.append(key)
+            self._register(list(dict.fromkeys(fresh)))
         # round k = the k-th queued event of each instance in the batch:
         # per-instance order is preserved, rounds dispatch vectorized
         occurrence: Dict[int, int] = {}
@@ -137,6 +226,7 @@ class ShardCore:
         supervisor drains the inbox before migrating).
         """
         row = self._rows.pop(key)
+        self._dense_del(key)
         state = self.engine.export_instance(row)
         moved_from = self.engine.remove_instance(row)
         moved_key = self._keys[moved_from]
@@ -144,6 +234,7 @@ class ShardCore:
         self._keys.pop()
         if moved_key != key:
             self._rows[moved_key] = row
+            self._dense_set(moved_key, row)
         return state
 
     def import_instance(
@@ -157,6 +248,7 @@ class ShardCore:
         row = self.engine.import_instance(state)
         self._rows[key] = row
         self._keys.append(key)
+        self._dense_set(key, row)
 
 
 class ShardActor:
@@ -210,13 +302,39 @@ class ShardActor:
                     self.inbox.task_done()
 
     def _serve_batch(self, batch: Sequence[_InboxItem]) -> None:
+        """Serve one inbox drain: adaptive coalescing.
+
+        Every packed batch drained in this pass coalesces into ONE
+        concatenated vectorized dispatch instead of many small ones —
+        the deeper the backlog, the larger (and cheaper per event) the
+        round.  Plain injects keep their slow path; a run of one kind
+        flushes before the other kind serves so per-instance order
+        holds even when the two representations interleave.
+        """
         injects: List[InjectEvent] = []
+        packed: List[InjectBatchPacked] = []
         controls: List[_ControlItem] = []
         shutdown: Optional[_ControlItem] = None
+
+        def flush_injects() -> None:
+            if injects:
+                self.core.serve_injects(injects)
+                injects.clear()
+
+        def flush_packed() -> None:
+            if packed:
+                self.core.serve_packed(InjectBatchPacked.concat(packed))
+                packed.clear()
+
         for item in batch:
-            if isinstance(item, InjectEvent):
+            if isinstance(item, InjectBatchPacked):
+                flush_injects()
+                packed.append(item)
+            elif isinstance(item, InjectEvent):
+                flush_packed()
                 injects.append(item)
             elif isinstance(item, InjectBatch):
+                flush_packed()
                 injects.extend(item.events)
             else:
                 message = item[0]
@@ -224,10 +342,12 @@ class ShardActor:
                     shutdown = item
                     if not message.drain:
                         injects = []
+                        packed = []
                         break
                 else:
                     controls.append(item)
-        self.core.serve_injects(injects)
+        flush_injects()
+        flush_packed()
         for message, future in controls:
             if isinstance(message, SnapshotRequest):
                 self._resolve(future, self.stats())

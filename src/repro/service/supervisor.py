@@ -48,22 +48,29 @@ import numpy as np
 
 from ..petrinet import PetriNet
 from ..petrinet.compiled import ENGINE_COMPILED, CompiledNet, compile_net
+from ..petrinet.exceptions import NotEnabledError
 from ..runtime.cost import CostModel
-from ..runtime.fleet import FleetEngine, FleetResult
+from ..runtime.fleet import FleetEngine, FleetResult, SignatureTable
 from ..runtime.reactive import ModuleAssignment, validate_budget_policy
 from ..runtime.rtos import ExecutionStats
 from ..runtime.stochastic import TimingModel
 from .messages import (
+    FRAME_CONTROL,
+    FRAME_PACKED,
+    FRAME_RESULT,
     Ack,
     InjectBatch,
+    InjectBatchPacked,
     InjectEvent,
     Reload,
     ShardStats,
     Shutdown,
     SnapshotReply,
     SnapshotRequest,
-    decode_message,
-    encode_message,
+    decode_frame,
+    encode_frame_control,
+    encode_frame_packed,
+    encode_frame_result,
 )
 from .shard import DEFAULT_INBOX_LIMIT, ShardActor, ShardCore
 
@@ -115,6 +122,14 @@ class FleetSupervisor:
         self.inbox_limit = inbox_limit
         self.rebalance_interval = rebalance_interval
         self.rebalance_threshold = rebalance_threshold
+        # the ingest-boundary intern tables: every event is turned into
+        # integer ids exactly once, here; async shard engines share the
+        # signature table directly, process shards replay definition
+        # deltas shipped inside the binary packed frames
+        self.compiled: CompiledNet = (
+            net if isinstance(net, CompiledNet) else compile_net(net)
+        )
+        self.signatures = SignatureTable(self.compiled)
         self._route_override: Dict[int, int] = {}
         self._route_lock: Optional[asyncio.Lock] = None
         self._actors: List[ShardActor] = []
@@ -144,19 +159,15 @@ class FleetSupervisor:
         self._route_lock = asyncio.Lock()
         self._started_at = time.perf_counter()
         if self.backend == "async":
-            compiled = (
-                self.net
-                if isinstance(self.net, CompiledNet)
-                else compile_net(self.net)
-            )
             for shard_id in range(self.shards):
                 engine = FleetEngine(
-                    compiled,
+                    self.compiled,
                     self.assignment,
                     cost_model=self.cost,
                     max_firings_per_event=self.max_firings_per_event,
                     on_budget=self.on_budget,
                     timing=self.timing,
+                    signatures=self.signatures,
                 )
                 actor = ShardActor(shard_id, engine, inbox_limit=self.inbox_limit)
                 self._actors.append(actor)
@@ -183,6 +194,7 @@ class FleetSupervisor:
                     self.max_firings_per_event,
                     self.on_budget,
                     self.timing,
+                    signatures=self.signatures,
                 )
                 await handle.start()
                 self._handles.append(handle)
@@ -220,22 +232,93 @@ class FleetSupervisor:
         return _merge_results(parts, elapsed)
 
     # ------------------------------------------------------------------
+    # Ingest-boundary packing
+    # ------------------------------------------------------------------
+    def pack(self, events: Sequence[InjectEvent]) -> InjectBatchPacked:
+        """Intern a batch of string-keyed injects into packed id columns.
+
+        The *only* place the service touches event strings: source names
+        resolve through the compiled transition index and choice
+        resolutions through the shared :class:`SignatureTable`.  In the
+        steady state every lookup is a dict hit; the returned ndarray
+        batch flows through routing, inboxes and kernels zero-copy.
+        Unknown source transitions fail here, at the boundary, rather
+        than inside a shard's actor loop.
+        """
+        count = len(events)
+        instances = np.empty(count, dtype=np.int64)
+        sources = np.empty(count, dtype=np.int64)
+        signatures = np.empty(count, dtype=np.int64)
+        lookup_src = self.compiled.transition_index.get
+        table = self.signatures
+        lookup_sig = table._raw_index.get
+        intern_raw = table.intern_raw
+        for j, event in enumerate(events):
+            t_id = lookup_src(event.source)
+            if t_id is None:
+                raise NotEnabledError(
+                    f"unknown source transition {event.source!r}"
+                )
+            instances[j] = event.instance
+            sources[j] = t_id
+            choices = event.choices
+            if choices:
+                raw = tuple(choices.items())
+                sig_id = lookup_sig(raw)
+                if sig_id is None:
+                    sig_id = intern_raw(raw)
+                signatures[j] = sig_id
+            else:
+                signatures[j] = 0
+        return InjectBatchPacked(
+            instances=instances, sources=sources, signatures=signatures
+        )
+
+    def _shards_of(self, instances: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`shard_of` over an instance-key column."""
+        # int64 products wrap mod 2^64; & 0xFFFFFFFF recovers the exact
+        # low 32 bits, so this matches the scalar Python-int hash
+        with np.errstate(over="ignore"):
+            shard_ids = (
+                (instances * _HASH_MULTIPLIER) & 0xFFFFFFFF
+            ) % self.shards
+        if self._route_override:
+            override_keys = np.fromiter(
+                self._route_override, dtype=np.int64,
+                count=len(self._route_override),
+            )
+            for position in np.flatnonzero(np.isin(instances, override_keys)):
+                shard_ids[position] = self._route_override[
+                    int(instances[position])
+                ]
+        return shard_ids
+
+    # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
-    async def inject(self, message: Union[InjectEvent, InjectBatch]) -> None:
-        """Route an inject to its shard(s); awaits under backpressure."""
+    async def inject(
+        self, message: Union[InjectEvent, InjectBatch, InjectBatchPacked]
+    ) -> None:
+        """Route an inject to its shard(s); awaits under backpressure.
+
+        Every representation converges to :class:`InjectBatchPacked`
+        here — strings are interned once, then the per-shard split is a
+        handful of ndarray gathers and the shards never intern again.
+        """
         lock = self._require_running()
         async with lock:
             if isinstance(message, InjectEvent):
-                await self._put(self.shard_of(message.instance), message)
+                packed = self.pack((message,))
+            elif isinstance(message, InjectBatch):
+                packed = self.pack(message.events)
+            else:
+                packed = message
+            if self.shards == 1:
+                await self._put(0, packed)
                 return
-            by_shard: Dict[int, List[InjectEvent]] = {}
-            for event in message.events:
-                by_shard.setdefault(self.shard_of(event.instance), []).append(
-                    event
-                )
-            for shard_id, events in by_shard.items():
-                await self._put(shard_id, InjectBatch(events=tuple(events)))
+            shard_ids = self._shards_of(packed.instances)
+            for shard_id in np.unique(shard_ids).tolist():
+                await self._put(shard_id, packed.take(shard_ids == shard_id))
 
     async def snapshot(self) -> SnapshotReply:
         """Aggregate + per-shard statistics (observes prior injects)."""
@@ -399,11 +482,20 @@ def _merge_results(
 class _ProcessShardHandle:
     """Parent-side endpoint of one worker-process shard.
 
-    Requests travel the pipe as wire-codec lines; replies resolve a
-    FIFO of pending futures (the pipe preserves order, so no request
-    ids are needed).  Blocking pipe operations run in worker threads
-    (``asyncio.to_thread``) so the event loop never stalls on a full
-    pipe buffer.
+    Everything on the pipe is a binary frame (:mod:`repro.service.messages`):
+    packed inject batches travel as length-prefixed raw int64 buffers,
+    control requests as JSON wire lines inside control frames, and the
+    terminal ``(keys, FleetResult)`` as one pickle frame.  Replies
+    resolve a FIFO of pending futures (the pipe preserves order, so no
+    request ids are needed).  Blocking pipe operations run in worker
+    threads (``asyncio.to_thread``) so the event loop never stalls on a
+    full pipe buffer.
+
+    The handle also keeps its worker's :class:`SignatureTable` replica
+    consistent: ``_sigs_synced`` is the high-water mark of signature
+    ids the worker has seen, and every packed frame carries the
+    definitions interned since — the worker replays them in id order,
+    so both tables assign identical ids by construction.
     """
 
     def __init__(
@@ -415,9 +507,12 @@ class _ProcessShardHandle:
         max_firings: int,
         on_budget: str,
         timing: Optional[TimingModel] = None,
+        signatures: Optional[SignatureTable] = None,
     ) -> None:
         self.shard_id = shard_id
         self._spec = (net_json, modules, cost, max_firings, on_budget, timing)
+        self._signatures = signatures
+        self._sigs_synced = 1  # id 0 (the empty signature) is implicit
         self._process: Optional["object"] = None
         self._conn = None
         self._pending: Deque["asyncio.Future"] = deque()
@@ -443,28 +538,38 @@ class _ProcessShardHandle:
     async def _read_loop(self) -> None:
         while True:
             try:
-                reply = await asyncio.to_thread(self._conn.recv)
+                data = await asyncio.to_thread(self._conn.recv_bytes)
             except (EOFError, OSError):
                 break
-            if isinstance(reply, str):
-                reply = decode_message(reply)
+            kind, reply = decode_frame(data)
             if self._pending:
                 future = self._pending.popleft()
                 if not future.done():
                     future.set_result(reply)
-            if isinstance(reply, tuple):  # the final (keys, FleetResult)
+            if kind == FRAME_RESULT:  # the final (keys, FleetResult)
                 break
 
     async def _request(self, message) -> "asyncio.Future":
         future: "asyncio.Future" = asyncio.get_running_loop().create_future()
         async with self._send_lock:
             self._pending.append(future)
-            await asyncio.to_thread(self._conn.send, encode_message(message))
+            await asyncio.to_thread(
+                self._conn.send_bytes, encode_frame_control(message)
+            )
         return future
 
-    async def send(self, message: Union[InjectEvent, InjectBatch]) -> None:
+    async def send(
+        self, message: Union[InjectEvent, InjectBatch, InjectBatchPacked]
+    ) -> None:
         async with self._send_lock:
-            await asyncio.to_thread(self._conn.send, encode_message(message))
+            if isinstance(message, InjectBatchPacked):
+                base = self._sigs_synced
+                defs = self._signatures.definitions(base)
+                data = encode_frame_packed(message, sig_base=base, sig_defs=defs)
+                self._sigs_synced = base + len(defs)
+            else:
+                data = encode_frame_control(message)
+            await asyncio.to_thread(self._conn.send_bytes, data)
 
     async def snapshot(self) -> ShardStats:
         return await (await self._request(SnapshotRequest()))
@@ -494,49 +599,102 @@ def _shard_worker(
     on_budget: str,
     timing: Optional[TimingModel],
 ) -> None:  # pragma: no cover - runs inside the worker process
-    """Synchronous shard loop: drain the pipe into a ShardCore."""
+    """Synchronous shard loop: drain the pipe into a ShardCore.
+
+    The worker keeps a :class:`SignatureTable` replica of the
+    supervisor's intern table — packed frames carry the definitions of
+    any signatures interned since the last frame, replayed here in id
+    order so a signature id means the same resolution on both sides of
+    the pipe.  Like the async actor, every packed batch drained in one
+    pass coalesces into a single vectorized dispatch.
+    """
+    from ..petrinet.compiled import compile_net as _compile
     from ..petrinet.serialization import net_from_json
 
+    cnet = _compile(net_from_json(net_json))
+    signatures = SignatureTable(cnet)
     engine = FleetEngine(
-        net_from_json(net_json),
+        cnet,
         ModuleAssignment(modules=modules),
         cost_model=cost,
         max_firings_per_event=max_firings,
         on_budget=on_budget,
         timing=timing,
+        signatures=signatures,
     )
     core = ShardCore(shard_id, engine)
+
+    def sync_signatures(sig_base: int, sig_defs) -> None:
+        if not sig_defs:
+            return
+        if signatures.count != sig_base:
+            raise RuntimeError(
+                f"signature table out of sync: worker has "
+                f"{signatures.count} ids, frame starts at {sig_base}"
+            )
+        for offset, definition in enumerate(sig_defs):
+            assigned = signatures.intern(definition)
+            if assigned != sig_base + offset:
+                raise RuntimeError(
+                    f"signature replay drift: {definition!r} interned as "
+                    f"{assigned}, expected {sig_base + offset}"
+                )
+
     while True:
         try:
-            messages = [decode_message(conn.recv())]
+            frames = [decode_frame(conn.recv_bytes())]
         except EOFError:
             break
         while conn.poll():
-            messages.append(decode_message(conn.recv()))
+            frames.append(decode_frame(conn.recv_bytes()))
         injects: List[InjectEvent] = []
+        packed: List[InjectBatchPacked] = []
+
+        def flush_injects() -> None:
+            if injects:
+                core.serve_injects(injects)
+                injects.clear()
+
+        def flush_packed() -> None:
+            if packed:
+                core.serve_packed(InjectBatchPacked.concat(packed))
+                packed.clear()
+
+        def flush() -> None:
+            flush_injects()
+            flush_packed()
+
         done = False
-        for message in messages:
+        for kind, payload in frames:
+            if kind == FRAME_PACKED:
+                batch, sig_base, sig_defs = payload
+                sync_signatures(sig_base, sig_defs)
+                flush_injects()
+                packed.append(batch)
+                continue
+            message = payload
             if isinstance(message, InjectEvent):
+                flush_packed()
                 injects.append(message)
             elif isinstance(message, InjectBatch):
+                flush_packed()
                 injects.extend(message.events)
             elif isinstance(message, SnapshotRequest):
-                core.serve_injects(injects)
-                injects = []
-                conn.send(encode_message(core.stats(queue_depth=0)))
+                flush()
+                conn.send_bytes(
+                    encode_frame_control(core.stats(queue_depth=0))
+                )
             elif isinstance(message, Reload):
-                core.serve_injects(injects)
-                injects = []
+                flush()
                 core.reload(reset_stats=message.reset_stats)
-                conn.send(encode_message(Ack()))
+                conn.send_bytes(encode_frame_control(Ack()))
             elif isinstance(message, Shutdown):
                 if message.drain:
-                    core.serve_injects(injects)
-                injects = []
-                conn.send(core.result())
+                    flush()
+                conn.send_bytes(encode_frame_result(core.result()))
                 done = True
                 break
         if done:
             break
-        core.serve_injects(injects)
+        flush()
     conn.close()

@@ -28,12 +28,16 @@ from repro.runtime import FleetEngine, ModuleAssignment
 from repro.runtime.fleet import FleetResult
 from repro.runtime.rtos import ExecutionStats
 from repro.service import (
+    FRAME_CONTROL,
+    FRAME_PACKED,
+    FRAME_RESULT,
     TELEMETRY_SCHEMA,
     WIRE_SCHEMA,
     Ack,
     FleetSupervisor,
     IngestServer,
     InjectBatch,
+    InjectBatchPacked,
     InjectEvent,
     ProtocolError,
     Reload,
@@ -44,7 +48,11 @@ from repro.service import (
     SnapshotReply,
     SnapshotRequest,
     TelemetryWriter,
+    decode_frame,
     decode_message,
+    encode_frame_control,
+    encode_frame_packed,
+    encode_frame_result,
     encode_message,
     events_to_injects,
     validate_backend,
@@ -214,6 +222,90 @@ class TestTelemetrySchema:
             with pytest.raises(ValueError):
                 writer.emit({"schema": TELEMETRY_SCHEMA, "kind": "nope"})
         assert path.read_text() == ""
+
+    def test_writer_buffers_until_flush(self, tmp_path):
+        """Emits buffer in memory; the file sees one write per flush."""
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetryWriter(str(path)) as writer:
+            writer.emit(self.good_record("shard"))
+            writer.emit(self.good_record("aggregate"))
+            assert writer.buffered == 2
+            assert path.read_text() == ""  # nothing written yet
+            writer.flush()
+            assert writer.buffered == 0
+            assert len(path.read_text().splitlines()) == 2
+            writer.emit(self.good_record("shard"))  # buffered again
+            assert len(path.read_text().splitlines()) == 2
+        # close() flushed the remainder
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            validate_telemetry_record(json.loads(line))
+
+    def test_writer_auto_flushes_at_buffer_limit(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetryWriter(str(path), buffer_limit=4) as writer:
+            for _ in range(4):
+                writer.emit(self.good_record("aggregate"))
+            assert writer.buffered == 0  # limit reached -> auto-flush
+            assert len(path.read_text().splitlines()) == 4
+
+
+class TestBinaryFrames:
+    """The process-backend pipe codec: packed, control and result frames."""
+
+    def packed(self):
+        return InjectBatchPacked(
+            instances=np.array([5, 9, 5], dtype=np.int64),
+            sources=np.array([1, 2, 1], dtype=np.int64),
+            signatures=np.array([0, 3, 0], dtype=np.int64),
+        )
+
+    def test_packed_frame_round_trips(self):
+        batch = self.packed()
+        defs = [(("p_choice", "t_left"),), (("p_choice", "t_right"),)]
+        data = encode_frame_packed(batch, sig_base=2, sig_defs=defs)
+        kind, (decoded, sig_base, sig_defs) = decode_frame(data)
+        assert kind == FRAME_PACKED
+        assert sig_base == 2
+        assert sig_defs == defs
+        assert np.array_equal(decoded.instances, batch.instances)
+        assert np.array_equal(decoded.sources, batch.sources)
+        assert np.array_equal(decoded.signatures, batch.signatures)
+
+    def test_control_frame_round_trips(self):
+        message = SnapshotRequest(request_id=7)
+        kind, decoded = decode_frame(encode_frame_control(message))
+        assert kind == FRAME_CONTROL
+        assert decoded == message
+
+    def test_result_frame_round_trips(self):
+        payload = ([3, 1, 4], {"events": 42})
+        kind, decoded = decode_frame(encode_frame_result(payload))
+        assert kind == FRAME_RESULT
+        assert decoded == payload
+
+    def test_rejects_missing_magic(self):
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame(b"NOPE" + bytes([FRAME_CONTROL]))
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ProtocolError, match="unknown binary frame kind"):
+            decode_frame(b"RQF1" + bytes([0x7F]))
+
+    def test_rejects_truncated_packed_payload(self):
+        data = encode_frame_packed(self.packed())
+        with pytest.raises(ProtocolError, match="expected"):
+            decode_frame(data[:-8])
+
+    def test_packed_take_and_concat_preserve_order(self):
+        batch = self.packed()
+        front = batch.take(slice(0, 2))
+        back = batch.take(slice(2, 3))
+        rejoined = InjectBatchPacked.concat([front, back])
+        assert len(front) == 2 and len(back) == 1
+        assert np.array_equal(rejoined.instances, batch.instances)
+        assert np.array_equal(rejoined.signatures, batch.signatures)
 
 
 class TestShardBackpressure:
